@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: mapping a GAN across several 3DCU pairs (Sec. IV-B: "we map
+ * generator to one or several 3DCUs").
+ *
+ * More pairs add CArray capacity (less duplication shrinkage, less
+ * crossbar time-sharing) but layer blocks on different pairs exchange
+ * their activations over the narrow inter-pair links — for mid-size
+ * GANs the crossing cost wins, while capacity-starved volumetric GANs
+ * see the pressure drop. The bench prints both effects.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace lergan;
+    using namespace lergan::bench;
+    banner("Ablation: CU-pair scaling",
+           "extension of Sec. IV-B's multi-3DCU mapping");
+
+    TextTable table({"benchmark", "pairs", "ms/iter", "oversubscribed "
+                                                      "xbars",
+                     "crossbars used", "mJ/iter"});
+    for (const char *name : {"DCGAN", "3D-GAN"}) {
+        const GanModel model = makeBenchmark(name);
+        for (int pairs : {1, 2, 4}) {
+            AcceleratorConfig config =
+                AcceleratorConfig::lerGan(ReplicaDegree::High);
+            config.cuPairs = pairs;
+            LerGanAccelerator accelerator(model, config);
+            const TrainingReport report = accelerator.trainIteration();
+            table.addRow(
+                {model.name, std::to_string(pairs),
+                 TextTable::num(report.timeMs(), 2),
+                 std::to_string(
+                     accelerator.compiled().oversubscribedCrossbars),
+                 std::to_string(report.crossbarsUsed),
+                 TextTable::num(pjToMj(report.totalEnergyPj()), 1)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nReading guide: oversubscribed crossbars time-share "
+                 "physical ones (reprogramming); inter-pair hops ride "
+                 "the port-level bypass links, which do not stripe.\n";
+    return 0;
+}

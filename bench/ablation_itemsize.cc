@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Ablation: item-size scaling of a DCGAN-shaped GAN (8x8 up to 128x128).
+ *
+ * Bigger items mean more zero-insertion work, more inter-phase cache
+ * traffic and more CArray pressure; the LerGAN-over-PRIME advantage
+ * should persist (the paper's "bigger GANs favor PIM" argument from
+ * Fig. 21's DiscoGAN discussion).
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace lergan;
+    using namespace lergan::bench;
+    banner("Ablation: item-size scaling (DCGAN-shaped)",
+           "LerGAN's advantage persists as items grow");
+
+    TextTable table({"item", "weights", "LerGAN ms", "PRIME ms",
+                     "speedup", "energy saving"});
+    for (int item : {8, 16, 32, 64, 128}) {
+        const GanModel model = dcganScaled(item);
+        const TrainingReport lergan = simulateTraining(
+            model, AcceleratorConfig::lerGan(ReplicaDegree::High));
+        const TrainingReport prime =
+            simulateTraining(model, AcceleratorConfig::prime());
+        table.addRow({std::to_string(item),
+                      std::to_string(model.totalWeights()),
+                      TextTable::num(lergan.timeMs(), 2),
+                      TextTable::num(prime.timeMs(), 2),
+                      TextTable::num(prime.timeMs() / lergan.timeMs()) +
+                          "x",
+                      TextTable::num(prime.totalEnergyPj() /
+                                     lergan.totalEnergyPj()) +
+                          "x"});
+    }
+    table.print(std::cout);
+    return 0;
+}

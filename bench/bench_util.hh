@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction bench binaries.
+ *
+ * Each bench regenerates one table or figure of the paper's Sec. VI:
+ * it simulates the configurations that figure compares and prints the
+ * same rows/series. EXPERIMENTS.md records paper-vs-measured values.
+ */
+
+#ifndef LERGAN_BENCH_BENCH_UTIL_HH
+#define LERGAN_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+
+#include "baselines/fpga_gan.hh"
+#include "baselines/gpu.hh"
+#include "baselines/prime.hh"
+#include "common/table.hh"
+#include "core/api.hh"
+
+namespace lergan {
+namespace bench {
+
+/** The evaluation uses ten timed iterations (Sec. VI-C). */
+constexpr int kIterations = 10;
+
+/** Configuration with every axis explicit. */
+inline AcceleratorConfig
+makeConfig(Connection conn, ReshapeMode reshape, bool duplicate,
+           ReplicaDegree degree = ReplicaDegree::Low)
+{
+    AcceleratorConfig config;
+    config.connection = conn;
+    config.reshape = reshape;
+    config.duplicate = duplicate;
+    config.degree = degree;
+    return config;
+}
+
+/** LerGAN-low granted only the PRIME baseline's CArray space. */
+inline AcceleratorConfig
+lerGanLowNs(const GanModel &model)
+{
+    const CompiledGan prime_map =
+        compileGan(model, AcceleratorConfig::prime());
+    AcceleratorConfig config = AcceleratorConfig::lerGan(ReplicaDegree::Low);
+    config.normalizedSpace = true;
+    config.spaceBudgetCrossbars = prime_map.crossbarsUsed;
+    return config;
+}
+
+/** PRIME granted the same CArray space as a LerGAN mapping. */
+inline AcceleratorConfig
+primeNs(const GanModel &model, ReplicaDegree lergan_degree)
+{
+    const CompiledGan lergan_map =
+        compileGan(model, AcceleratorConfig::lerGan(lergan_degree));
+    AcceleratorConfig config = AcceleratorConfig::prime();
+    config.normalizedSpace = true;
+    config.spaceBudgetCrossbars = lergan_map.crossbarsUsed;
+    return config;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const std::string &what, const std::string &paper_claim)
+{
+    std::cout << "=== " << what << " ===\n";
+    std::cout << "paper: " << paper_claim << "\n\n";
+}
+
+/** Geometric-style arithmetic mean helper used in the summary rows. */
+class Mean
+{
+  public:
+    void add(double value)
+    {
+        sum_ += value;
+        ++count_;
+    }
+    double value() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  private:
+    double sum_ = 0.0;
+    int count_ = 0;
+};
+
+} // namespace bench
+} // namespace lergan
+
+#endif // LERGAN_BENCH_BENCH_UTIL_HH

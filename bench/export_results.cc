@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Machine-readable export of the core evaluation grid: all eight
+ * benchmarks x {LerGAN low/middle/high, PRIME} as JSON and CSV, for
+ * plotting outside the repo.
+ *
+ * Usage:
+ *   ./build/bench/export_results --json results.json --csv results.csv
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "common/args.hh"
+#include "core/sweep.hh"
+#include "workloads/zoo.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lergan;
+
+    ArgParser args;
+    args.addOption("json", "JSON output path", "lergan_results.json");
+    args.addOption("csv", "CSV output path", "lergan_results.csv");
+    args.addOption("iterations", "iterations per point", "1");
+    args.parse(argc, argv, "export the evaluation grid for plotting");
+
+    ExperimentSweep sweep;
+    for (const GanModel &model : allBenchmarks())
+        sweep.add(model);
+    sweep.add("lergan-low", AcceleratorConfig::lerGan(ReplicaDegree::Low));
+    sweep.add("lergan-middle",
+              AcceleratorConfig::lerGan(ReplicaDegree::Middle));
+    sweep.add("lergan-high",
+              AcceleratorConfig::lerGan(ReplicaDegree::High));
+    sweep.add("prime", AcceleratorConfig::prime());
+
+    const auto results = sweep.run(args.getInt("iterations"));
+
+    std::ofstream json(args.get("json"));
+    ExperimentSweep::writeJson(json, results);
+    std::ofstream csv(args.get("csv"));
+    ExperimentSweep::writeCsv(csv, results);
+
+    std::cout << "wrote " << results.size() << " points to "
+              << args.get("json") << " and " << args.get("csv") << "\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table V reproduction: the eight GAN benchmark topologies, as parsed and
+ * shape-resolved by the library.
+ */
+
+#include "bench_util.hh"
+
+int
+main()
+{
+    using namespace lergan;
+    bench::banner("Table V: GAN benchmark topologies",
+                  "8 GANs; f/c/t layer chains with kernel+stride specs");
+
+    TextTable table({"name", "G layers", "D layers", "item", "dims",
+                     "G weights", "D weights", "G tconv", "G conv"});
+    for (const GanModel &model : allBenchmarks()) {
+        std::uint64_t g_weights = 0, d_weights = 0;
+        int tconv = 0, conv = 0;
+        for (const LayerSpec &l : model.generator) {
+            g_weights += l.numWeights();
+            tconv += l.kind == LayerKind::TConv;
+            conv += l.kind == LayerKind::Conv;
+        }
+        for (const LayerSpec &l : model.discriminator)
+            d_weights += l.numWeights();
+        table.addRow({model.name, std::to_string(model.generator.size()),
+                      std::to_string(model.discriminator.size()),
+                      std::to_string(model.itemSize),
+                      std::to_string(model.spatialDims),
+                      std::to_string(g_weights), std::to_string(d_weights),
+                      std::to_string(tconv), std::to_string(conv)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPer-layer shapes:\n";
+    for (const GanModel &model : allBenchmarks()) {
+        std::cout << model.name << "\n";
+        for (const auto *net : {&model.generator, &model.discriminator}) {
+            for (const LayerSpec &l : *net) {
+                std::cout << "  " << l.name << ": " << l.inChannels << "x"
+                          << l.inSize << "^" << l.spatialDims << " -> "
+                          << l.outChannels << "x" << l.outSize << "^"
+                          << l.spatialDims;
+                if (l.kind != LayerKind::FullyConnected) {
+                    std::cout << "  k" << l.kernel << " s" << l.stride
+                              << " p" << l.pad << "/" << l.padHi << " r"
+                              << l.rem;
+                }
+                std::cout << "\n";
+            }
+        }
+    }
+    return 0;
+}

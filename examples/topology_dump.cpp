@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Dump the machine's interconnect as Graphviz DOT (render with
+ * `dot -Tsvg`). Use --no-3d to see the plain H-tree baseline.
+ */
+
+#include <iostream>
+
+#include "common/args.hh"
+#include "core/machine.hh"
+#include "interconnect/dot_export.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lergan;
+
+    ArgParser args;
+    args.addOption("no-3d", "build the H-tree baseline machine", "", true);
+    args.addOption("pairs", "number of CU pairs", "1");
+    args.parse(argc, argv, "export the interconnect as Graphviz DOT");
+
+    AcceleratorConfig config = AcceleratorConfig::lerGan(ReplicaDegree::Low);
+    if (args.getFlag("no-3d"))
+        config.connection = Connection::HTree;
+    config.cuPairs = args.getInt("pairs");
+
+    Machine machine(config);
+    exportDot(std::cout, machine.topo());
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Trace one training iteration and export it in the Chrome trace-event
+ * format (open chrome://tracing or https://ui.perfetto.dev and load the
+ * file) to see how items pipeline through banks and where wires contend.
+ *
+ * Usage:
+ *   ./build/examples/trace_dump --benchmark cGAN --batch 8 \
+ *       --out /tmp/lergan_trace.json
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "common/args.hh"
+#include "core/api.hh"
+#include "sim/utilization.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lergan;
+
+    ArgParser args;
+    args.addOption("benchmark", "Table V benchmark name", "cGAN");
+    args.addOption("batch", "training minibatch size", "8");
+    args.addOption("degree", "duplication degree: low/middle/high", "low");
+    args.addOption("out", "Chrome trace output path",
+                   "lergan_trace.json");
+    args.addOption("timeline", "also print the first N timeline rows",
+                   "20");
+    args.parse(argc, argv, "export a Chrome trace of one iteration");
+
+    ReplicaDegree degree = ReplicaDegree::Low;
+    if (args.get("degree") == "middle")
+        degree = ReplicaDegree::Middle;
+    else if (args.get("degree") == "high")
+        degree = ReplicaDegree::High;
+
+    AcceleratorConfig config = AcceleratorConfig::lerGan(degree);
+    config.batchSize = args.getInt("batch");
+
+    const GanModel model = makeBenchmark(args.get("benchmark"));
+    LerGanAccelerator accelerator(model, config);
+
+    Tracer tracer;
+    const TrainingReport report =
+        accelerator.trainIterationTraced(tracer);
+    report.print(std::cout);
+
+    std::cout << "\ntimeline head:\n";
+    tracer.printTimeline(std::cout, args.getInt("timeline"));
+
+    std::cout << "\nbusiest resources:\n";
+    printUtilization(std::cout, accelerator.machine().pool(),
+                     report.iterationTime, 10);
+
+    const std::string path = args.get("out");
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot open " << path << " for writing\n";
+        return 1;
+    }
+    tracer.exportChromeTrace(out, accelerator.resourceNames());
+    std::cout << "\nwrote " << tracer.events().size() << " events to "
+              << path << "\n";
+    return 0;
+}

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Plot the exported evaluation grid.
+
+Usage:
+    ./build/bench/export_results --json results.json
+    python3 scripts/plot_results.py results.json [out_prefix]
+
+Produces <out_prefix>_speedup.svg and <out_prefix>_energy.svg using only
+the standard library (hand-written SVG bars), so it runs offline.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def group(rows):
+    """-> {benchmark: {config: row}} preserving benchmark order."""
+    table = {}
+    for row in rows:
+        table.setdefault(row["benchmark"], {})[row["config"]] = row
+    return table
+
+
+def bars_svg(title, series, out_path):
+    """series: list of (label, {config: value}) with a shared config set."""
+    configs = sorted({c for _, values in series for c in values})
+    width, height, margin = 980, 360, 50
+    plot_w, plot_h = width - 2 * margin, height - 2 * margin
+    peak = max(v for _, values in series for v in values.values()) or 1.0
+    group_w = plot_w / max(1, len(series))
+    bar_w = group_w / (len(configs) + 1)
+    palette = ["#4878a8", "#e08214", "#5aae61", "#9970ab", "#c51b7d"]
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">',
+        f'<text x="{width/2}" y="20" text-anchor="middle" '
+        f'font-size="14">{title}</text>',
+        f'<line x1="{margin}" y1="{height-margin}" x2="{width-margin}" '
+        f'y2="{height-margin}" stroke="#333"/>',
+    ]
+    for gi, (label, values) in enumerate(series):
+        x0 = margin + gi * group_w
+        for ci, config in enumerate(configs):
+            value = values.get(config, 0.0)
+            bar_h = plot_h * value / peak
+            x = x0 + (ci + 0.5) * bar_w
+            y = height - margin - bar_h
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w*0.9:.1f}" '
+                f'height="{bar_h:.1f}" fill="{palette[ci % len(palette)]}"'
+                f'><title>{label} {config}: {value:.2f}</title></rect>'
+            )
+        parts.append(
+            f'<text x="{x0 + group_w/2:.1f}" y="{height-margin+14}" '
+            f'text-anchor="middle">{label}</text>'
+        )
+    for ci, config in enumerate(configs):
+        parts.append(
+            f'<rect x="{margin + ci*140}" y="{28}" width="10" height="10" '
+            f'fill="{palette[ci % len(palette)]}"/>'
+            f'<text x="{margin + ci*140 + 14}" y="{37}">{config}</text>'
+        )
+    parts.append("</svg>")
+    with open(out_path, "w") as fh:
+        fh.write("\n".join(parts))
+    print(f"wrote {out_path}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    rows = load(sys.argv[1])
+    prefix = sys.argv[2] if len(sys.argv) > 2 else "lergan"
+    table = group(rows)
+
+    speedup, energy = [], []
+    for benchmark, configs in table.items():
+        base = configs.get("prime")
+        if base is None:
+            continue
+        speedup.append(
+            (
+                benchmark,
+                {
+                    c: base["ms_per_iteration"] / r["ms_per_iteration"]
+                    for c, r in configs.items()
+                    if c != "prime"
+                },
+            )
+        )
+        energy.append(
+            (
+                benchmark,
+                {
+                    c: base["mj_per_iteration"] / r["mj_per_iteration"]
+                    for c, r in configs.items()
+                    if c != "prime"
+                },
+            )
+        )
+    bars_svg("Speedup over PRIME (Fig. 19)", speedup,
+             f"{prefix}_speedup.svg")
+    bars_svg("Energy saving over PRIME (Fig. 20)", energy,
+             f"{prefix}_energy.svg")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#include "baselines/fpga_gan.hh"
+
+#include "nn/zero_analysis.hh"
+
+namespace lergan {
+
+TrainingReport
+simulateFpgaGan(const GanModel &model, const FpgaParams &params)
+{
+    double useful_macs = 0.0;
+    double total_bytes = 0.0;
+
+    auto add_phase = [&](Phase phase, int batch_factor) {
+        for (const LayerOp &op : opsForPhase(model, phase)) {
+            const OpZeroStats stats = analyzeOp(op);
+            const double items =
+                static_cast<double>(params.batchSize) * batch_factor;
+            // Zero-skipping dataflow: only useful MACs execute.
+            useful_macs +=
+                static_cast<double>(stats.usefulMults) * items;
+            // On-chip BRAM is tiny relative to GAN layers: activations
+            // (zeros removed) spill to DDR between layers, and weights
+            // stream in once per layer per batch tile.
+            total_bytes += 2.0 *
+                           static_cast<double>(stats.usefulInputs +
+                                               op.outputData) *
+                           items;
+        }
+        // Weight streaming per phase.
+        total_bytes += 2.0 * static_cast<double>(model.totalWeights());
+    };
+
+    for (const PhaseInstance &inst : phasesForStep(true))
+        add_phase(inst.phase, inst.batchFactor);
+    for (const PhaseInstance &inst : phasesForStep(false))
+        add_phase(inst.phase, inst.batchFactor);
+
+    const double weights = static_cast<double>(model.totalWeights());
+    total_bytes += 3.0 * weights * 2.0; // 16-bit update traffic
+
+    const double macs_per_s =
+        static_cast<double>(params.dspCount) * params.clockGhz * 1e9 *
+        params.utilization;
+    const double compute_s = useful_macs / macs_per_s;
+    const double memory_s = total_bytes / (params.ddrBwGBs * 1e9);
+    const double time_s = std::max(compute_s, memory_s);
+
+    TrainingReport report;
+    report.benchmark = model.name;
+    report.config = "FPGA-GAN";
+    report.iterationTime = nsToPs(time_s * 1e9);
+    report.stats.set("energy.board",
+                     params.boardPowerW * time_s * 1e12);
+    report.stats.set("energy.dram", params.ddrPjPerByte * total_bytes);
+    report.stats.set("fpga.macs", useful_macs);
+    report.stats.set("fpga.bytes", total_bytes);
+    report.stats.set("fpga.compute_bound", compute_s >= memory_s ? 1 : 0);
+    return report;
+}
+
+} // namespace lergan

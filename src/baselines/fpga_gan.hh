@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Analytical FPGA-GAN baseline (Song et al., HPCA 2018 [47], on the
+ * Xilinx VCU118 board named in Sec. VI-A).
+ *
+ * That accelerator removes zero operations with a custom dataflow, so it
+ * computes only useful multiplies — but it runs at FPGA clock rates with
+ * a bounded DSP array, and streams weights and activations through
+ * off-chip DDR4. It is therefore far slower than PIM but very energy
+ * proportional: the paper finds LerGAN 47.2x faster yet consuming 1.04x
+ * the energy of FPGA-GAN on average.
+ */
+
+#ifndef LERGAN_BASELINES_FPGA_GAN_HH
+#define LERGAN_BASELINES_FPGA_GAN_HH
+
+#include "core/report.hh"
+#include "nn/model.hh"
+
+namespace lergan {
+
+/** Board parameters, defaulting to a VCU118-class design. The MAC array
+ *  reflects the accelerator actually synthesized (a fraction of the
+ *  board's 6840 DSP slices), which is what makes the FPGA the slowest
+ *  but most energy-proportional platform in the comparison. */
+struct FpgaParams {
+    int dspCount = 2520;         ///< DSP48 slices used by the design
+    double clockGhz = 0.2;       ///< achievable accelerator clock
+    double utilization = 0.4;    ///< sustained MAC issue rate
+    double ddrBwGBs = 19.2;      ///< one DDR4-2400 channel
+    double boardPowerW = 6.5;    ///< average power of the trimmed design
+    double ddrPjPerByte = 15.0;  ///< off-chip access energy
+    int batchSize = 64;
+};
+
+/** Simulate one training iteration analytically. */
+TrainingReport simulateFpgaGan(const GanModel &model,
+                               const FpgaParams &params = FpgaParams{});
+
+} // namespace lergan
+
+#endif // LERGAN_BASELINES_FPGA_GAN_HH

@@ -1,0 +1,82 @@
+#include "baselines/gpu.hh"
+
+#include "nn/zero_analysis.hh"
+
+#include <string>
+
+namespace lergan {
+
+TrainingReport
+simulateGpu(const GanModel &model, const GpuParams &params)
+{
+    // Work per iteration: one discriminator step (m fakes through G,
+    // 2m items through D fwd/bwd) plus one generator step.
+    double total_flops = 0.0;
+    double total_bytes = 0.0;
+    double launch_s = 0.0;
+    StatSet phase_stats;
+
+    auto add_phase = [&](Phase phase, int batch_factor) {
+        double phase_flops = 0.0;
+        double phase_bytes = 0.0;
+        int layers = 0;
+        for (const LayerOp &op : opsForPhase(model, phase)) {
+            const OpZeroStats stats = analyzeOp(op);
+            const double items =
+                static_cast<double>(params.batchSize) * batch_factor;
+            // Dense execution: multiply-accumulate over every grid cell,
+            // zeros included (2 flops per MAC).
+            phase_flops +=
+                2.0 * static_cast<double>(stats.totalMults) * items;
+            // Activations (zeros included) stream out to GDDR and back in
+            // for the next layer; weights re-read per layer per item
+            // block (amortized across the batch).
+            phase_bytes += 2.0 *
+                           static_cast<double>(stats.totalInputs +
+                                               op.outputData) *
+                           items;
+            ++layers;
+        }
+        total_flops += phase_flops;
+        total_bytes += phase_bytes;
+        // One kernel launch per layer per phase (batched over items).
+        launch_s += 5e-6 * layers;
+        phase_stats.add(std::string("gpu.phase.") + phaseName(phase) +
+                            ".flops",
+                        phase_flops);
+        phase_stats.add(std::string("gpu.phase.") + phaseName(phase) +
+                            ".bytes",
+                        phase_bytes);
+    };
+
+    for (const PhaseInstance &inst : phasesForStep(true))
+        add_phase(inst.phase, inst.batchFactor);
+    for (const PhaseInstance &inst : phasesForStep(false))
+        add_phase(inst.phase, inst.batchFactor);
+
+    // Weight updates: read grads + weights, write weights.
+    const double weights = static_cast<double>(model.totalWeights());
+    total_flops += 2.0 * weights;
+    total_bytes += 3.0 * weights * 4.0;
+
+    const double compute_s =
+        total_flops / (params.peakTflops * 1e12 * params.utilization);
+    const double memory_s = total_bytes / (params.memBwGBs * 1e9);
+    const double time_s = std::max(compute_s, memory_s) + launch_s;
+
+    TrainingReport report;
+    report.benchmark = model.name;
+    report.config = "GPU";
+    report.iterationTime = nsToPs(time_s * 1e9);
+    report.stats.set("energy.board",
+                     params.boardPowerW * time_s * 1e12); // W*s in pJ
+    report.stats.set("energy.dram", params.dramPjPerByte * total_bytes);
+    report.stats.set("gpu.flops", total_flops);
+    report.stats.set("gpu.bytes", total_bytes);
+    report.stats.set("gpu.launch_s", launch_s);
+    report.stats.set("gpu.compute_bound", compute_s >= memory_s ? 1 : 0);
+    report.stats.merge(phase_stats);
+    return report;
+}
+
+} // namespace lergan

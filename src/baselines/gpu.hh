@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Analytical GPU baseline (NVIDIA Titan X class, as in Sec. VI-A).
+ *
+ * The GPU trains the GAN with dense kernels: transposed convolutions are
+ * materialized as zero-inserted grids (cuDNN-style), so the device pays
+ * for every zero multiply, and all inter-layer activations round-trip
+ * through off-chip GDDR. Time is the roofline maximum of compute and
+ * memory per phase; energy is TDP-proportional plus per-byte DRAM cost.
+ *
+ * Substitution note (DESIGN.md): the paper measured a real Titan X; we
+ * model it from public specs. Only the relative position against the
+ * PIM configurations matters for the reproduced figures.
+ */
+
+#ifndef LERGAN_BASELINES_GPU_HH
+#define LERGAN_BASELINES_GPU_HH
+
+#include "core/report.hh"
+#include "nn/model.hh"
+
+namespace lergan {
+
+/** Device parameters, defaulting to a Titan X (Maxwell). */
+struct GpuParams {
+    double peakTflops = 6.1;      ///< fp32 peak
+    double memBwGBs = 336.0;      ///< GDDR5 bandwidth
+    double utilization = 0.35;    ///< sustained fraction of peak on convs
+    /** Average board power while training (below the 250 W TDP: the
+     *  zero-heavy T-CONV phases keep many SMs memory-stalled). */
+    double boardPowerW = 120.0;
+    double dramPjPerByte = 20.0;  ///< off-chip access energy
+    int batchSize = 64;
+};
+
+/** Simulate one training iteration analytically. */
+TrainingReport simulateGpu(const GanModel &model,
+                           const GpuParams &params = GpuParams{});
+
+} // namespace lergan
+
+#endif // LERGAN_BASELINES_GPU_HH

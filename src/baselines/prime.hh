@@ -1,0 +1,34 @@
+/**
+ * @file
+ * PRIME baseline: the ReRAM NN accelerator of Chi et al. [15], modified
+ * to run GAN training as in the paper's Sec. VI-A.
+ *
+ * PRIME shares LerGAN's tile substrate but keeps the conventional
+ * H-tree/bus interconnect and normal (zero-carrying) data reshaping.
+ * It is simulated by the same LerGanAccelerator with the corresponding
+ * configuration, which is exactly the paper's methodology ("GANs running
+ * on modified ReRAM-based NN accelerator").
+ */
+
+#ifndef LERGAN_BASELINES_PRIME_HH
+#define LERGAN_BASELINES_PRIME_HH
+
+#include "core/accelerator.hh"
+
+namespace lergan {
+
+/** Plain PRIME: H-tree + normal reshape, no duplication. */
+TrainingReport simulatePrime(const GanModel &model, int batch_size = 64);
+
+/**
+ * Normalized-space PRIME: granted the same CArray crossbar budget as a
+ * reference LerGAN mapping, spent on naive kernel duplication
+ * (Fig. 16/19/20's "NS" bars).
+ */
+TrainingReport simulatePrimeNs(const GanModel &model,
+                               std::uint64_t budget_crossbars,
+                               int batch_size = 64);
+
+} // namespace lergan
+
+#endif // LERGAN_BASELINES_PRIME_HH

@@ -1,0 +1,135 @@
+#include "common/args.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace lergan {
+
+void
+ArgParser::addOption(const std::string &name, const std::string &help,
+                     const std::string &fallback, bool is_flag)
+{
+    LERGAN_ASSERT(!options_.count(name), "duplicate option --", name);
+    options_[name] = Option{help, fallback, is_flag};
+}
+
+std::string
+ArgParser::usage(const std::string &program_doc) const
+{
+    std::ostringstream oss;
+    oss << program_ << ": " << program_doc << "\n\noptions:\n";
+    for (const auto &[name, option] : options_) {
+        oss << "  --" << name;
+        if (!option.isFlag)
+            oss << " <value>";
+        oss << "\n      " << option.help;
+        if (!option.fallback.empty())
+            oss << " (default: " << option.fallback << ")";
+        oss << "\n";
+    }
+    oss << "  --help\n      show this message\n";
+    return oss.str();
+}
+
+void
+ArgParser::parse(int argc, char **argv, const std::string &program_doc)
+{
+    program_ = argc > 0 ? argv[0] : "?";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!startsWith(arg, "--")) {
+            positional_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        if (arg == "help") {
+            std::fputs(usage(program_doc).c_str(), stdout);
+            std::exit(0);
+        }
+        std::string value;
+        bool has_value = false;
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            has_value = true;
+        }
+        auto it = options_.find(arg);
+        if (it == options_.end())
+            LERGAN_FATAL("unknown option --", arg, "\n",
+                         usage(program_doc));
+        if (it->second.isFlag) {
+            LERGAN_ASSERT(!has_value, "flag --", arg,
+                          " does not take a value");
+            values_[arg] = "1";
+            continue;
+        }
+        if (!has_value) {
+            if (i + 1 >= argc)
+                LERGAN_FATAL("option --", arg, " needs a value");
+            value = argv[++i];
+        }
+        values_[arg] = value;
+    }
+}
+
+bool
+ArgParser::given(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+ArgParser::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    if (it != values_.end())
+        return it->second;
+    auto opt = options_.find(name);
+    LERGAN_ASSERT(opt != options_.end(), "undeclared option --", name);
+    return opt->second.fallback;
+}
+
+int
+ArgParser::getInt(const std::string &name) const
+{
+    const std::string text = get(name);
+    try {
+        std::size_t used = 0;
+        const int value = std::stoi(text, &used);
+        if (used != text.size())
+            throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception &) {
+        LERGAN_FATAL("option --", name, " expects an integer, got '", text,
+                     "'");
+    }
+}
+
+double
+ArgParser::getDouble(const std::string &name) const
+{
+    const std::string text = get(name);
+    try {
+        std::size_t used = 0;
+        const double value = std::stod(text, &used);
+        if (used != text.size())
+            throw std::invalid_argument(text);
+        return value;
+    } catch (const std::exception &) {
+        LERGAN_FATAL("option --", name, " expects a number, got '", text,
+                     "'");
+    }
+}
+
+bool
+ArgParser::getFlag(const std::string &name) const
+{
+    return get(name) == "1";
+}
+
+} // namespace lergan

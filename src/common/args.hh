@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal command-line argument parser for the bench and example
+ * binaries.
+ *
+ * Supports "--flag", "--key value" and "--key=value" forms, typed
+ * accessors with defaults, and an auto-generated usage message. Unknown
+ * arguments are fatal so typos never silently fall back to defaults.
+ */
+
+#ifndef LERGAN_COMMON_ARGS_HH
+#define LERGAN_COMMON_ARGS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lergan {
+
+/** Parsed command line. */
+class ArgParser
+{
+  public:
+    /**
+     * Declare an option before parsing.
+     *
+     * @param name     option name without the leading dashes ("batch").
+     * @param help     one-line description for the usage message.
+     * @param fallback default value ("" for boolean flags).
+     * @param is_flag  true for valueless boolean flags.
+     */
+    void addOption(const std::string &name, const std::string &help,
+                   const std::string &fallback = "", bool is_flag = false);
+
+    /**
+     * Parse argv. Fatal on unknown options or missing values; prints the
+     * usage message and exits 0 when --help is present.
+     *
+     * @param program_doc one-line description of the binary.
+     */
+    void parse(int argc, char **argv, const std::string &program_doc);
+
+    /** @return true if the flag/option was given on the command line. */
+    bool given(const std::string &name) const;
+
+    /** String value (explicit or default). */
+    std::string get(const std::string &name) const;
+
+    /** Integer value; fatal on malformed input. */
+    int getInt(const std::string &name) const;
+
+    /** Double value; fatal on malformed input. */
+    double getDouble(const std::string &name) const;
+
+    /** Boolean flag presence. */
+    bool getFlag(const std::string &name) const;
+
+    /** Positional (non-option) arguments, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Render the usage text. */
+    std::string usage(const std::string &program_doc) const;
+
+  private:
+    struct Option {
+        std::string help;
+        std::string fallback;
+        bool isFlag = false;
+    };
+
+    std::map<std::string, Option> options_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+    std::string program_;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_COMMON_ARGS_HH

@@ -1,0 +1,146 @@
+#include "common/json.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+std::string
+JsonWriter::escape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (char c : text) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separator()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already emitted the comma
+    }
+    if (!hasElement_.empty()) {
+        if (hasElement_.back())
+            os_ << ',';
+        hasElement_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    os_ << '{';
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    LERGAN_ASSERT(!hasElement_.empty() && !pendingKey_,
+                  "endObject: not inside an object");
+    hasElement_.pop_back();
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    os_ << '[';
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    LERGAN_ASSERT(!hasElement_.empty() && !pendingKey_,
+                  "endArray: not inside an array");
+    hasElement_.pop_back();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    LERGAN_ASSERT(!hasElement_.empty(), "key outside of an object");
+    if (hasElement_.back())
+        os_ << ',';
+    hasElement_.back() = true;
+    os_ << '"' << escape(name) << "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &text)
+{
+    separator();
+    os_ << '"' << escape(text) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    separator();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.12g", number);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    separator();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    separator();
+    os_ << number;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    separator();
+    os_ << (flag ? "true" : "false");
+    return *this;
+}
+
+} // namespace lergan

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal streaming JSON writer.
+ *
+ * Used by the trace exporter (Chrome trace format) and the machine-
+ * readable bench output. Write-only by design: the project never parses
+ * JSON, so a full DOM would be dead weight.
+ */
+
+#ifndef LERGAN_COMMON_JSON_HH
+#define LERGAN_COMMON_JSON_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lergan {
+
+/**
+ * Streaming writer producing syntactically valid JSON.
+ *
+ * Usage:
+ * @code
+ *   JsonWriter json(os);
+ *   json.beginObject();
+ *   json.key("name").value("DCGAN");
+ *   json.key("layers").beginArray();
+ *   json.value(1).value(2);
+ *   json.endArray();
+ *   json.endObject();
+ * @endcode
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; must be inside an object. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(int number);
+    JsonWriter &value(bool flag);
+
+    /** Escape a string per RFC 8259. */
+    static std::string escape(const std::string &text);
+
+  private:
+    /** Emit a comma when needed and mark the container as non-empty. */
+    void separator();
+
+    std::ostream &os_;
+    /** true = the current container already has an element. */
+    std::vector<bool> hasElement_;
+    bool pendingKey_ = false;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_COMMON_JSON_HH

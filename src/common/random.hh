@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Deterministic pseudo-random generator for workload synthesis.
+ *
+ * A thin xoshiro256** wrapper so every run of every test/bench is
+ * reproducible regardless of the standard library implementation.
+ */
+
+#ifndef LERGAN_COMMON_RANDOM_HH
+#define LERGAN_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace lergan {
+
+/**
+ * xoshiro256** PRNG (Blackman & Vigna, public domain reference algorithm).
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x1e57ULL);
+
+    /** @return next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform integer in [0, bound). @p bound must be > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace lergan
+
+#endif // LERGAN_COMMON_RANDOM_HH

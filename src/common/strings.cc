@@ -1,0 +1,67 @@
+#include "common/strings.hh"
+
+#include <cctype>
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    for (char c : text) {
+        if (c == sep) {
+            fields.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    fields.push_back(current);
+    return fields;
+}
+
+std::string
+trim(const std::string &text)
+{
+    std::size_t begin = 0;
+    std::size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+int
+parseInt(const std::string &text, const std::string &what)
+{
+    if (text.empty())
+        LERGAN_FATAL("expected an integer for ", what, ", got empty string");
+    for (char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+            LERGAN_FATAL("expected an integer for ", what, ", got '", text,
+                         "'");
+        }
+    }
+    return std::stoi(text);
+}
+
+} // namespace lergan

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Small string utilities used by the topology DSL parser and reporters.
+ */
+
+#ifndef LERGAN_COMMON_STRINGS_HH
+#define LERGAN_COMMON_STRINGS_HH
+
+#include <string>
+#include <vector>
+
+namespace lergan {
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Remove leading/trailing ASCII whitespace. */
+std::string trim(const std::string &text);
+
+/** @return true iff @p text starts with @p prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+/** @return true iff @p text ends with @p suffix. */
+bool endsWith(const std::string &text, const std::string &suffix);
+
+/**
+ * Parse a non-negative integer, failing loudly on malformed input.
+ *
+ * @param text  Digits to parse.
+ * @param what  Context used in the error message.
+ */
+int parseInt(const std::string &text, const std::string &what);
+
+} // namespace lergan
+
+#endif // LERGAN_COMMON_STRINGS_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Plain-text table printer used by every bench binary.
+ *
+ * Produces aligned, pipe-separated rows so figure reproductions read like
+ * the tables/series in the paper.
+ */
+
+#ifndef LERGAN_COMMON_TABLE_HH
+#define LERGAN_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lergan {
+
+/** Column-aligned text table with a header row. */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision decimal places. */
+    static std::string num(double value, int precision = 2);
+
+    /** Render the whole table (header, rule, rows) to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_COMMON_TABLE_HH

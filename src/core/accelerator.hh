@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The LerGAN accelerator model (paper Sec. V, evaluated in Sec. VI).
+ *
+ * Combines the compiled mapping, the machine (CU pair + resources) and
+ * the memory-controller FSM, lowers one full training iteration
+ * (discriminator step then generator step, Fig. 13a/13b) into a task DAG
+ * and executes it on the event simulator.
+ *
+ * The same class simulates every PIM configuration of the evaluation:
+ * LerGAN is (3D, ZFDR); the PRIME baseline is (H-tree, normal reshape);
+ * the Fig. 16-18 ablations toggle the axes independently.
+ */
+
+#ifndef LERGAN_CORE_ACCELERATOR_HH
+#define LERGAN_CORE_ACCELERATOR_HH
+
+#include "core/compiler.hh"
+#include "core/controller.hh"
+#include "core/machine.hh"
+#include "core/report.hh"
+#include "reram/tile.hh"
+#include "sim/trace.hh"
+
+namespace lergan {
+
+/** A GAN mapped onto one PIM configuration, ready to simulate. */
+class LerGanAccelerator
+{
+  public:
+    LerGanAccelerator(const GanModel &model, AcceleratorConfig config);
+
+    /** Simulate one full training iteration. */
+    TrainingReport trainIteration();
+
+    /**
+     * Simulate one iteration while recording every task's execution
+     * interval into @p tracer (exportable as a Chrome trace).
+     */
+    TrainingReport trainIterationTraced(Tracer &tracer);
+
+    /** Names of all resources, indexed by resource id (trace lanes). */
+    std::vector<std::string> resourceNames() const;
+
+    /**
+     * Simulate @p n iterations (the paper times ten and averages).
+     * Iterations are identical in steady state, so this simulates one
+     * and reports per-iteration numbers with counters scaled by @p n in
+     * "total.*" keys.
+     */
+    TrainingReport trainIterations(int n);
+
+    const CompiledGan &compiled() const { return compiled_; }
+    const GanModel &model() const { return model_; }
+    const AcceleratorConfig &config() const { return config_; }
+    Machine &machine() { return machine_; }
+
+  private:
+    /** Shared implementation of the (traced) iteration runs. */
+    TrainingReport trainIterationImpl(Tracer *tracer);
+
+    GanModel model_;
+    AcceleratorConfig config_;
+    CompiledGan compiled_;
+    Machine machine_;
+    MemoryController controller_;
+    TileModel tileModel_;
+    /** Host-CPU resource (update arithmetic serializes here). */
+    std::size_t cpuRes_;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_CORE_ACCELERATOR_HH

@@ -1,0 +1,13 @@
+#include "core/api.hh"
+
+namespace lergan {
+
+TrainingReport
+simulateTraining(const GanModel &model, const AcceleratorConfig &config,
+                 int iterations)
+{
+    LerGanAccelerator accelerator(model, config);
+    return accelerator.trainIterations(iterations);
+}
+
+} // namespace lergan

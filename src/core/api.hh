@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Public umbrella API.
+ *
+ * Downstream users include this single header to parse or pick a GAN,
+ * choose a configuration and simulate training:
+ *
+ * @code
+ *   #include "core/api.hh"
+ *   using namespace lergan;
+ *
+ *   GanModel dcgan = makeBenchmark("DCGAN");
+ *   AcceleratorConfig cfg = AcceleratorConfig::lerGan(ReplicaDegree::Low);
+ *   TrainingReport report = simulateTraining(dcgan, cfg, 10);
+ *   report.print(std::cout);
+ * @endcode
+ */
+
+#ifndef LERGAN_CORE_API_HH
+#define LERGAN_CORE_API_HH
+
+#include "core/accelerator.hh"
+#include "core/compiler.hh"
+#include "core/config.hh"
+#include "core/report.hh"
+#include "nn/parser.hh"
+#include "nn/zero_analysis.hh"
+#include "workloads/zoo.hh"
+
+namespace lergan {
+
+/**
+ * Convenience one-shot: compile @p model for @p config and simulate
+ * @p iterations training iterations.
+ */
+TrainingReport simulateTraining(const GanModel &model,
+                                const AcceleratorConfig &config,
+                                int iterations = 1);
+
+} // namespace lergan
+
+#endif // LERGAN_CORE_API_HH

@@ -1,0 +1,64 @@
+#include "core/config.hh"
+
+namespace lergan {
+
+const char *
+connectionName(Connection connection)
+{
+    return connection == Connection::HTree ? "2D" : "3D";
+}
+
+const char *
+reshapeModeName(ReshapeMode mode)
+{
+    return mode == ReshapeMode::Zfdr ? "ZFDR" : "NR";
+}
+
+ReplicaDegree
+AcceleratorConfig::degreeFor(Phase phase) const
+{
+    auto it = phaseDegrees.find(phase);
+    return it == phaseDegrees.end() ? degree : it->second;
+}
+
+std::string
+AcceleratorConfig::label() const
+{
+    std::string text = std::string(connectionName(connection)) + "+" +
+                       reshapeModeName(reshape);
+    if (duplicate)
+        text += std::string("(") + replicaDegreeName(degree) + ")";
+    else
+        text += "(nodup)";
+    if (normalizedSpace)
+        text += "-NS";
+    return text;
+}
+
+AcceleratorConfig
+AcceleratorConfig::lerGan(ReplicaDegree degree)
+{
+    AcceleratorConfig config;
+    config.connection = Connection::ThreeD;
+    config.reshape = ReshapeMode::Zfdr;
+    config.degree = degree;
+    config.duplicate = true;
+    return config;
+}
+
+AcceleratorConfig
+AcceleratorConfig::prime()
+{
+    // The paper's baseline is PRIME modified for GAN training, i.e. a
+    // PipeLayer-style design: conventional H-tree banks, normal
+    // (zero-carrying) reshaping, and naive kernel duplication for
+    // intra-layer parallelism.
+    AcceleratorConfig config;
+    config.connection = Connection::HTree;
+    config.reshape = ReshapeMode::Normal;
+    config.degree = ReplicaDegree::Middle;
+    config.duplicate = true;
+    return config;
+}
+
+} // namespace lergan

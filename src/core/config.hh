@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Accelerator configuration knobs.
+ *
+ * Every evaluated configuration in the paper's Sec. VI is a point in this
+ * space: LerGAN-low/middle/high are (ThreeD, Zfdr, degree), the "-NS"
+ * variants normalize CArray space, PRIME is (HTree, Normal), and the
+ * Fig. 16-18 ablations toggle connection/reshape/duplication separately.
+ */
+
+#ifndef LERGAN_CORE_CONFIG_HH
+#define LERGAN_CORE_CONFIG_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/training.hh"
+#include "reram/params.hh"
+#include "zfdr/replica.hh"
+
+namespace lergan {
+
+/** Interconnect flavor. */
+enum class Connection {
+    HTree,  ///< plain banks on a shared bus (PRIME / PipeLayer style)
+    ThreeD, ///< 3DCU pairs with horizontal/vertical/bypass wiring
+};
+
+/** @return "2D" or "3D". */
+const char *connectionName(Connection connection);
+
+/** Data reshaping scheme. */
+enum class ReshapeMode {
+    Zfdr,   ///< zero-free reshaping (the paper's contribution)
+    Normal, ///< dense kernels; zeros stored, transferred and multiplied
+};
+
+/** @return "ZFDR" or "NR". */
+const char *reshapeModeName(ReshapeMode mode);
+
+/** One accelerator configuration. */
+struct AcceleratorConfig {
+    Connection connection = Connection::ThreeD;
+    ReshapeMode reshape = ReshapeMode::Zfdr;
+    /** Duplication degree (Table III / Eq. 14). */
+    ReplicaDegree degree = ReplicaDegree::Low;
+    /** false forces single copies everywhere (the "no duplication"
+     *  ablation of Fig. 17/18). */
+    bool duplicate = true;
+    /**
+     * Normalized space (the paper's "NS"): cap this configuration's
+     * CArray crossbar budget to @ref spaceBudgetCrossbars, shrinking
+     * duplication until it fits. Used to grant PRIME the same CArray
+     * space as LerGAN (Fig. 16/19/20) and vice versa.
+     */
+    bool normalizedSpace = false;
+    std::uint64_t spaceBudgetCrossbars = 0;
+    /**
+     * Number of 3DCU pairs the GAN maps onto (Sec. IV-B: "we map
+     * generator to one or several 3DCUs and map discriminator to
+     * corresponding 3DCUs"). Layers are split block-wise across pairs;
+     * big GANs need >1 pair to avoid oversubscribing the banks.
+     */
+    int cuPairs = 1;
+    /** Training minibatch size (paper: 64). */
+    int batchSize = 64;
+    /** Device/bank/tile parameters. */
+    ReRamParams reram;
+    /**
+     * Heterogeneous acceleration (Sec. V: "heterogeneous levels of
+     * acceleration according to demands"): per-phase duplication-degree
+     * overrides. Phases not listed use @ref degree.
+     */
+    std::map<Phase, ReplicaDegree> phaseDegrees;
+    /**
+     * @name 3D-connection ablation switches
+     * Disable one family of added wires to measure its contribution
+     * (bench/ablation_interconnect). Ignored for HTree connections.
+     */
+    ///@{
+    bool horizontalWires = true;
+    bool verticalWires = true;
+    ///@}
+
+    /**
+     * Fault injection: (bank, tile) pairs the compiler must not place
+     * crossbars on (defective or worn-out tiles).
+     */
+    std::vector<std::pair<int, int>> failedTiles;
+
+    /** Effective duplication degree for @p phase. */
+    ReplicaDegree degreeFor(Phase phase) const;
+
+    /** Short label for reports ("3D+ZFDR(low)"). */
+    std::string label() const;
+
+    /** The paper's named configurations. */
+    static AcceleratorConfig lerGan(ReplicaDegree degree);
+    static AcceleratorConfig prime();
+};
+
+} // namespace lergan
+
+#endif // LERGAN_CORE_CONFIG_HH

@@ -1,0 +1,81 @@
+#include "core/phase_report.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+
+#include "common/strings.hh"
+
+namespace lergan {
+
+namespace {
+
+/** Classify one trace label into its phase/family name. */
+std::string
+familyOf(const std::string &label)
+{
+    if (startsWith(label, "xfer:") || startsWith(label, "load:"))
+        return "transfers";
+    if (startsWith(label, "update:") ||
+        label.find(".grad.readout") != std::string::npos ||
+        label.find(".update.cpu") != std::string::npos) {
+        return "updates";
+    }
+    const auto at = label.find('@');
+    if (at != std::string::npos)
+        return label.substr(at + 1);
+    return "other";
+}
+
+} // namespace
+
+std::vector<PhaseTime>
+phaseTimes(const Tracer &tracer)
+{
+    std::map<std::string, PhaseTime> families;
+    for (const TraceEvent &event : tracer.events()) {
+        PhaseTime &family = families[familyOf(event.label)];
+        if (family.tasks == 0) {
+            family.firstStart = event.start;
+            family.lastEnd = event.end;
+        } else {
+            family.firstStart = std::min(family.firstStart, event.start);
+            family.lastEnd = std::max(family.lastEnd, event.end);
+        }
+        family.busy += event.end - event.start;
+        ++family.tasks;
+    }
+    std::vector<PhaseTime> result;
+    for (auto &[name, family] : families) {
+        family.name = name;
+        result.push_back(family);
+    }
+    std::sort(result.begin(), result.end(),
+              [](const PhaseTime &a, const PhaseTime &b) {
+                  return a.firstStart < b.firstStart;
+              });
+    return result;
+}
+
+void
+printPhaseTimes(std::ostream &os, const Tracer &tracer,
+                PicoSeconds makespan)
+{
+    os << std::left << std::setw(12) << "phase" << std::right
+       << std::setw(12) << "window ms" << std::setw(12) << "busy ms"
+       << std::setw(10) << "tasks" << std::setw(14) << "span/iter"
+       << '\n';
+    for (const PhaseTime &phase : phaseTimes(tracer)) {
+        os << std::left << std::setw(12) << phase.name << std::right
+           << std::fixed << std::setprecision(3) << std::setw(12)
+           << psToMs(phase.span()) << std::setw(12)
+           << psToMs(phase.busy) << std::setw(10) << phase.tasks
+           << std::setw(13) << std::setprecision(1)
+           << (makespan ? 100.0 * static_cast<double>(phase.span()) /
+                              static_cast<double>(makespan)
+                        : 0.0)
+           << "%" << '\n';
+    }
+}
+
+} // namespace lergan

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Simulation result records.
+ */
+
+#ifndef LERGAN_CORE_REPORT_HH
+#define LERGAN_CORE_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace lergan {
+
+/** Result of simulating training iterations on one configuration. */
+struct TrainingReport {
+    /** Benchmark name. */
+    std::string benchmark;
+    /** Configuration label (AcceleratorConfig::label()). */
+    std::string config;
+    /** Wall-clock time of one training iteration (train D + train G). */
+    PicoSeconds iterationTime = 0;
+    /** Energy and counter statistics for one iteration. */
+    StatSet stats;
+    /** CArray crossbars occupied by the mapping. */
+    std::uint64_t crossbarsUsed = 0;
+    /** Modeled compile time (ms), with and without ZFDR work. */
+    double compileMs = 0.0;
+    double compileMsTraditional = 0.0;
+
+    /** Total energy of one iteration, picojoules. */
+    double
+    totalEnergyPj() const
+    {
+        return stats.sumPrefix("energy.");
+    }
+
+    /** Compute (crossbar MMV) energy share. */
+    double
+    computeEnergyPj() const
+    {
+        return stats.sumPrefix("energy.compute.");
+    }
+
+    /** Communication (wire/bus) energy share. */
+    double
+    commEnergyPj() const
+    {
+        return stats.sumPrefix("energy.comm.");
+    }
+
+    /** Iteration time in milliseconds. */
+    double timeMs() const { return psToMs(iterationTime); }
+
+    /** Print a one-line summary plus the statistic dump. */
+    void print(std::ostream &os, bool verbose = false) const;
+
+    /** Write the full report as a JSON object. */
+    void writeJson(std::ostream &os) const;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_CORE_REPORT_HH

@@ -1,0 +1,89 @@
+#include "core/sweep.hh"
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace lergan {
+
+ExperimentSweep &
+ExperimentSweep::add(const GanModel &model)
+{
+    models_.push_back(model);
+    return *this;
+}
+
+ExperimentSweep &
+ExperimentSweep::add(const std::string &label,
+                     const AcceleratorConfig &config)
+{
+    configs_.emplace_back(label, config);
+    return *this;
+}
+
+std::vector<SweepResult>
+ExperimentSweep::run(int iterations) const
+{
+    LERGAN_ASSERT(!models_.empty() && !configs_.empty(),
+                  "sweep needs at least one benchmark and one config");
+    std::vector<SweepResult> results;
+    results.reserve(models_.size() * configs_.size());
+    for (const GanModel &model : models_) {
+        for (const auto &[label, config] : configs_) {
+            LerGanAccelerator accelerator(model, config);
+            SweepResult result;
+            result.benchmark = model.name;
+            result.configLabel = label;
+            result.report = accelerator.trainIterations(iterations);
+            result.crossbarsUsed = accelerator.compiled().crossbarsUsed;
+            result.oversubscribed =
+                accelerator.compiled().oversubscribedCrossbars;
+            results.push_back(std::move(result));
+        }
+    }
+    return results;
+}
+
+void
+ExperimentSweep::writeJson(std::ostream &os,
+                           const std::vector<SweepResult> &results)
+{
+    JsonWriter json(os);
+    json.beginArray();
+    for (const SweepResult &result : results) {
+        json.beginObject();
+        json.key("benchmark").value(result.benchmark);
+        json.key("config").value(result.configLabel);
+        json.key("ms_per_iteration").value(result.report.timeMs());
+        json.key("mj_per_iteration")
+            .value(pjToMj(result.report.totalEnergyPj()));
+        json.key("crossbars").value(result.crossbarsUsed);
+        json.key("oversubscribed").value(result.oversubscribed);
+        json.key("stats").beginObject();
+        for (const auto &[name, value] : result.report.stats)
+            json.key(name).value(value);
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    os << '\n';
+}
+
+void
+ExperimentSweep::writeCsv(std::ostream &os,
+                          const std::vector<SweepResult> &results)
+{
+    os << "benchmark,config,ms_per_iteration,mj_per_iteration,"
+          "crossbars,oversubscribed,energy_compute_pj,energy_comm_pj,"
+          "energy_update_pj\n";
+    for (const SweepResult &result : results) {
+        os << result.benchmark << ',' << result.configLabel << ','
+           << result.report.timeMs() << ','
+           << pjToMj(result.report.totalEnergyPj()) << ','
+           << result.crossbarsUsed << ',' << result.oversubscribed << ','
+           << result.report.computeEnergyPj() << ','
+           << result.report.commEnergyPj() << ','
+           << result.report.stats.get("energy.update") << '\n';
+    }
+}
+
+} // namespace lergan

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Experiment sweeps: run a grid of (benchmark x configuration) points
+ * and export the results for plotting.
+ *
+ * The figure benches print human-readable tables; this library is the
+ * programmatic counterpart — downstream users compose their own
+ * comparisons and get JSON/CSV out.
+ */
+
+#ifndef LERGAN_CORE_SWEEP_HH
+#define LERGAN_CORE_SWEEP_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hh"
+
+namespace lergan {
+
+/** One executed experiment point. */
+struct SweepResult {
+    std::string benchmark;
+    std::string configLabel;
+    TrainingReport report;
+    std::uint64_t crossbarsUsed = 0;
+    std::uint64_t oversubscribed = 0;
+};
+
+/** A grid of benchmarks x configurations. */
+class ExperimentSweep
+{
+  public:
+    /** Add a benchmark model to the grid. */
+    ExperimentSweep &add(const GanModel &model);
+
+    /** Add a configuration (with a display label) to the grid. */
+    ExperimentSweep &add(const std::string &label,
+                         const AcceleratorConfig &config);
+
+    /** Simulate every point; results are ordered benchmark-major. */
+    std::vector<SweepResult> run(int iterations = 1) const;
+
+    /** Write results as a JSON array of objects. */
+    static void writeJson(std::ostream &os,
+                          const std::vector<SweepResult> &results);
+
+    /** Write results as CSV (one row per point, stats flattened). */
+    static void writeCsv(std::ostream &os,
+                         const std::vector<SweepResult> &results);
+
+  private:
+    std::vector<GanModel> models_;
+    std::vector<std::pair<std::string, AcceleratorConfig>> configs_;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_CORE_SWEEP_HH

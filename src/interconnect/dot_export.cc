@@ -1,0 +1,72 @@
+#include "interconnect/dot_export.hh"
+
+#include <map>
+
+namespace lergan {
+
+namespace {
+
+const char *
+linkColor(LinkKind kind)
+{
+    switch (kind) {
+      case LinkKind::HTree:      return "gray40";
+      case LinkKind::Horizontal: return "darkorange";
+      case LinkKind::Vertical:   return "mediumblue";
+      case LinkKind::Bypass:     return "forestgreen";
+      case LinkKind::Bus:        return "crimson";
+    }
+    return "black";
+}
+
+const char *
+nodeShape(NodeKind kind)
+{
+    switch (kind) {
+      case NodeKind::Tile:     return "box";
+      case NodeKind::Router:   return "circle";
+      case NodeKind::BankPort: return "doublecircle";
+      case NodeKind::Bus:      return "hexagon";
+    }
+    return "ellipse";
+}
+
+} // namespace
+
+void
+exportDot(std::ostream &os, const Topology &topo)
+{
+    os << "graph lergan {\n"
+       << "  graph [rankdir=TB, splines=true];\n"
+       << "  node [fontsize=9];\n";
+
+    // Cluster nodes by bank.
+    std::map<int, std::vector<int>> by_bank;
+    for (int id = 0; id < static_cast<int>(topo.numNodes()); ++id)
+        by_bank[topo.node(id).bank].push_back(id);
+
+    for (const auto &[bank, nodes] : by_bank) {
+        if (bank >= 0) {
+            os << "  subgraph cluster_bank" << bank << " {\n"
+               << "    label=\"bank " << bank << "\";\n";
+        }
+        for (int id : nodes) {
+            const TopoNode &node = topo.node(id);
+            os << (bank >= 0 ? "    " : "  ") << "n" << id << " [label=\""
+               << node.name << "\", shape=" << nodeShape(node.kind)
+               << "];\n";
+        }
+        if (bank >= 0)
+            os << "  }\n";
+    }
+
+    for (std::size_t i = 0; i < topo.numLinks(); ++i) {
+        const TopoLink &link = topo.link(i);
+        os << "  n" << link.a << " -- n" << link.b << " [color="
+           << linkColor(link.kind) << ", penwidth="
+           << (0.5 + link.bytesPerNs / 6.4) << "];\n";
+    }
+    os << "}\n";
+}
+
+} // namespace lergan

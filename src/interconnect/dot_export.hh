@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Graphviz DOT export of an interconnect topology.
+ *
+ * Renders banks as clusters, tiles/routers/ports as nodes, and colors
+ * each wire family (H-tree, horizontal, vertical, bypass, bus) so the
+ * Fig. 12 structure can be inspected visually:
+ *
+ *   ./build/examples/topology_dump | dot -Tsvg > machine.svg
+ */
+
+#ifndef LERGAN_INTERCONNECT_DOT_EXPORT_HH
+#define LERGAN_INTERCONNECT_DOT_EXPORT_HH
+
+#include <ostream>
+
+#include "interconnect/topology.hh"
+
+namespace lergan {
+
+/** Write @p topo as a Graphviz digraph (undirected edges). */
+void exportDot(std::ostream &os, const Topology &topo);
+
+} // namespace lergan
+
+#endif // LERGAN_INTERCONNECT_DOT_EXPORT_HH

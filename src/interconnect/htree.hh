@@ -1,0 +1,48 @@
+/**
+ * @file
+ * H-tree bank builder (paper Fig. 9 / Fig. 12a).
+ *
+ * One bank is 16 tiles at the leaves of a 4-level binary tree. Levels
+ * alternate merging and multiplexing routing nodes; wire width halves
+ * below each merging node, so leaf wires carry a quarter of the bank-port
+ * bandwidth. This is the baseline interconnect PRIME/PipeLayer use and
+ * the substrate the 3D connection augments.
+ */
+
+#ifndef LERGAN_INTERCONNECT_HTREE_HH
+#define LERGAN_INTERCONNECT_HTREE_HH
+
+#include <vector>
+
+#include "interconnect/topology.hh"
+#include "reram/params.hh"
+
+namespace lergan {
+
+/** Handles into the topology for one built bank. */
+struct HTreeBank {
+    int bankId = -1;
+    /** Bank-port (H-tree root) node id. */
+    int port = -1;
+    /** 16 tile node ids, in leaf order. */
+    std::vector<int> tiles;
+    /** Router node ids per depth: routers[0] = depth-1 row (2 nodes),
+     *  routers[1] = depth-2 row (4), routers[2] = depth-3 row (8). */
+    std::vector<std::vector<int>> routers;
+};
+
+/**
+ * Build one H-tree bank into @p topo.
+ *
+ * Creates one wire resource per link and one switch resource per router
+ * and tile node (used only if 3D links are attached later).
+ */
+HTreeBank buildHTreeBank(Topology &topo, ResourcePool &pool,
+                         const ReRamParams &params, int bank_id);
+
+/** Tree depth between two tiles of one bank (hops via common ancestor). */
+int htreeHopDistance(int tile_a, int tile_b);
+
+} // namespace lergan
+
+#endif // LERGAN_INTERCONNECT_HTREE_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * 3D-connected PIM builder (paper Sec. IV-B, Fig. 12-13).
+ *
+ * A 3DCU stacks three H-tree banks and adds:
+ *  - horizontal wires between same-depth nodes whose parents differ,
+ *  - vertical wires between corresponding nodes of adjacent banks,
+ *  - one switch per node (two in the middle bank) arbitrating the added
+ *    wires — modeled as FIFO switch resources shared by those links.
+ *
+ * Two 3DCUs form a CU pair (generator + discriminator) whose top and
+ * bottom banks connect directly, bypassing the bus and CPU.
+ *
+ * Banks operate in Smode (plain memory; only H-tree wires usable) or
+ * Cmode (computing; added wires usable). Mode filtering happens at
+ * routing time via Topology::LinkFilter; reconfiguration costs are
+ * charged by the memory controller (core/controller).
+ */
+
+#ifndef LERGAN_INTERCONNECT_THREE_D_HH
+#define LERGAN_INTERCONNECT_THREE_D_HH
+
+#include <array>
+
+#include "interconnect/htree.hh"
+
+namespace lergan {
+
+/** Three stacked banks with 3D wiring. */
+struct ThreeDCU {
+    std::array<HTreeBank, 3> banks;
+    /** Number of added horizontal/vertical links (area accounting). */
+    int addedLinks = 0;
+    /** Number of switches added (area accounting). */
+    int addedSwitches = 0;
+};
+
+/** Which added-wire families a 3DCU gets (ablation switches). */
+struct ThreeDOptions {
+    bool horizontal = true;
+    bool vertical = true;
+
+    bool any() const { return horizontal || vertical; }
+};
+
+/**
+ * Build one 3DCU (three banks) into @p topo.
+ *
+ * @param options which added-wire families to create; {false, false}
+ *        builds plain stacked H-tree banks (the 2D baseline keeps an
+ *        identical bank structure so only connectivity differs).
+ */
+ThreeDCU build3dcu(Topology &topo, ResourcePool &pool,
+                   const ReRamParams &params, int first_bank_id,
+                   const ThreeDOptions &options);
+
+/** Convenience overload: all-or-nothing added wiring. */
+inline ThreeDCU
+build3dcu(Topology &topo, ResourcePool &pool, const ReRamParams &params,
+          int first_bank_id, bool with_3d_links)
+{
+    return build3dcu(topo, pool, params, first_bank_id,
+                     ThreeDOptions{with_3d_links, with_3d_links});
+}
+
+/** Directly connect two banks' ports (the CU-pair bypass, Fig. 13). */
+void addBypassLink(Topology &topo, ResourcePool &pool,
+                   const ReRamParams &params, const HTreeBank &a,
+                   const HTreeBank &b);
+
+/** Attach a bank's port to the shared bus node. */
+void addBusLink(Topology &topo, ResourcePool &pool,
+                const ReRamParams &params, int bus_node,
+                const HTreeBank &bank);
+
+/** Abstract-area accounting for the Sec. VI-E overhead comparison. */
+struct AreaModel {
+    double tileArea = 0.0;       ///< 48 tiles of silicon
+    double htreeWireArea = 0.0;  ///< baseline wires
+    double addedWireArea = 0.0;  ///< horizontal + vertical wires
+    double switchArea = 0.0;     ///< added switches
+
+    double
+    baseline() const
+    {
+        return tileArea + htreeWireArea;
+    }
+
+    /** Fractional overhead versus the PRIME-style baseline. */
+    double
+    overhead() const
+    {
+        return (addedWireArea + switchArea) / baseline();
+    }
+};
+
+/** Analytic area model of one 3DCU (see three_d.cc for the constants). */
+AreaModel areaModel3dcu(const ReRamParams &params);
+
+} // namespace lergan
+
+#endif // LERGAN_INTERCONNECT_THREE_D_HH

@@ -1,0 +1,111 @@
+#include "interconnect/topology.hh"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+int
+Topology::addNode(TopoNode node)
+{
+    nodes_.push_back(std::move(node));
+    adjacency_.emplace_back();
+    return static_cast<int>(nodes_.size()) - 1;
+}
+
+int
+Topology::addLink(TopoLink link)
+{
+    LERGAN_ASSERT(link.a >= 0 && link.a < static_cast<int>(nodes_.size()) &&
+                      link.b >= 0 &&
+                      link.b < static_cast<int>(nodes_.size()),
+                  "addLink: endpoint out of range");
+    LERGAN_ASSERT(link.latencyNs >= 0 && link.bytesPerNs > 0,
+                  "addLink: invalid cost parameters");
+    const int idx = static_cast<int>(links_.size());
+    adjacency_[link.a].push_back(idx);
+    adjacency_[link.b].push_back(idx);
+    links_.push_back(std::move(link));
+    return idx;
+}
+
+Route
+Topology::route(int from, int to, const LinkFilter &filter) const
+{
+    LERGAN_ASSERT(from >= 0 && from < static_cast<int>(nodes_.size()) &&
+                      to >= 0 && to < static_cast<int>(nodes_.size()),
+                  "route: endpoint out of range");
+    Route result;
+    if (from == to) {
+        result.minBytesPerNs = std::numeric_limits<double>::infinity();
+        return result;
+    }
+
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(nodes_.size(), inf);
+    std::vector<int> via(nodes_.size(), -1); // incoming link index
+    using QEntry = std::pair<double, int>;
+    std::priority_queue<QEntry, std::vector<QEntry>, std::greater<>> queue;
+
+    dist[from] = 0.0;
+    queue.emplace(0.0, from);
+    while (!queue.empty()) {
+        auto [d, u] = queue.top();
+        queue.pop();
+        if (d > dist[u])
+            continue;
+        if (u == to)
+            break;
+        for (int link_idx : adjacency_[u]) {
+            const TopoLink &l = links_[link_idx];
+            if (filter && !filter(l))
+                continue;
+            const int v = l.a == u ? l.b : l.a;
+            const double nd = d + l.latencyNs;
+            if (nd < dist[v]) {
+                dist[v] = nd;
+                via[v] = link_idx;
+                queue.emplace(nd, v);
+            }
+        }
+    }
+
+    if (dist[to] == inf)
+        return result; // unreachable: invalid route
+
+    // Walk back to collect the path.
+    std::vector<int> reversed;
+    int cur = to;
+    while (cur != from) {
+        const int link_idx = via[cur];
+        reversed.push_back(link_idx);
+        const TopoLink &l = links_[link_idx];
+        cur = l.a == cur ? l.b : l.a;
+    }
+    result.links.assign(reversed.rbegin(), reversed.rend());
+
+    result.minBytesPerNs = inf;
+    for (int link_idx : result.links) {
+        const TopoLink &l = links_[link_idx];
+        result.latencyNs += l.latencyNs;
+        result.pjPerByte += l.pjPerByte;
+        result.minBytesPerNs = std::min(result.minBytesPerNs, l.bytesPerNs);
+    }
+    return result;
+}
+
+std::vector<std::size_t>
+Topology::routeResources(const Route &route) const
+{
+    std::set<std::size_t> unique;
+    for (int link_idx : route.links)
+        for (std::size_t res : links_[link_idx].resources)
+            unique.insert(res);
+    return {unique.begin(), unique.end()};
+}
+
+} // namespace lergan

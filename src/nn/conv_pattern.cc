@@ -1,0 +1,151 @@
+#include "nn/conv_pattern.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+std::uint64_t
+Pattern1D::usefulTaps() const
+{
+    std::uint64_t total = 0;
+    for (const auto &g : groups)
+        total += static_cast<std::uint64_t>(g.mask.size()) * g.reuse;
+    return total;
+}
+
+std::uint64_t
+Pattern1D::totalTaps() const
+{
+    return static_cast<std::uint64_t>(positions) * windowTaps;
+}
+
+int
+Pattern1D::maxInteriorReuse() const
+{
+    int best = 0;
+    for (const auto &g : groups)
+        if (g.interior && g.reuse > best)
+            best = g.reuse;
+    return best;
+}
+
+namespace {
+
+/** Collect identical masks into groups and record each position's
+ *  group index in @p pattern. */
+void
+groupMasks(const std::vector<std::vector<int>> &masks, Pattern1D &pattern)
+{
+    std::map<std::vector<int>, int> group_index;
+    for (const auto &m : masks)
+        group_index.emplace(m, 0);
+    int next = 0;
+    for (auto &[mask, index] : group_index) {
+        (void)mask;
+        index = next++;
+    }
+
+    pattern.groups.assign(group_index.size(), MaskGroup{});
+    pattern.groupOfPosition.reserve(masks.size());
+    for (const auto &[mask, index] : group_index)
+        pattern.groups[index].mask = mask;
+    for (const auto &m : masks) {
+        const int index = group_index[m];
+        pattern.groups[index].reuse++;
+        pattern.groupOfPosition.push_back(index);
+    }
+}
+
+} // namespace
+
+Pattern1D
+sparseGridPattern(int data, int insert_stride, int pad_lo, int pad_hi,
+                  int rem, int kernel_width)
+{
+    LERGAN_ASSERT(data > 0 && insert_stride > 0 && kernel_width > 0,
+                  "sparseGridPattern: bad arguments");
+    LERGAN_ASSERT(pad_lo >= 0 && pad_hi >= 0 && rem >= 0 &&
+                      rem < insert_stride,
+                  "sparseGridPattern: invalid pad/rem (pad=", pad_lo, "/",
+                  pad_hi, " rem=", rem, " S'=", insert_stride, ")");
+
+    Pattern1D pattern;
+    pattern.dataCells = data;
+    pattern.windowTaps = kernel_width;
+    pattern.gridLength =
+        pad_lo + pad_hi + (data - 1) * insert_stride + 1 + rem;
+    pattern.positions = pattern.gridLength - kernel_width + 1;
+    LERGAN_ASSERT(pattern.positions > 0,
+                  "sparseGridPattern: window wider than grid");
+
+    // Cell x holds data element (x - pad_lo) / S' when (x - pad_lo) is a
+    // non-negative multiple of S' below data * S'.
+    auto is_data = [&](int x) {
+        int rel = x - pad_lo;
+        return rel >= 0 && rel % insert_stride == 0 &&
+               rel / insert_stride < data;
+    };
+
+    std::vector<std::vector<int>> masks(pattern.positions);
+    for (int j = 0; j < pattern.positions; ++j)
+        for (int w = 0; w < kernel_width; ++w)
+            if (is_data(j + w))
+                masks[j].push_back(w);
+
+    groupMasks(masks, pattern);
+
+    // Interior = the mask is a *full* congruence class of the infinite
+    // periodic pattern: all offsets in [0, W) congruent to its first
+    // element mod S'. Windows deep inside the map produce exactly these.
+    for (auto &g : pattern.groups) {
+        if (g.mask.empty())
+            continue;
+        const int residue = g.mask.front() % insert_stride;
+        std::vector<int> full;
+        for (int w = residue; w < kernel_width; w += insert_stride)
+            full.push_back(w);
+        g.interior = (g.mask == full);
+    }
+    return pattern;
+}
+
+Pattern1D
+sparseKernelPattern(int data, int pad_lo, int pad_hi, int taps,
+                    int tap_stride, int rem)
+{
+    LERGAN_ASSERT(data > 0 && taps > 0 && tap_stride > 0,
+                  "sparseKernelPattern: bad arguments");
+    LERGAN_ASSERT(pad_lo >= 0 && pad_hi >= 0 && rem >= 0 &&
+                      rem < tap_stride,
+                  "sparseKernelPattern: invalid pad/rem");
+
+    Pattern1D pattern;
+    pattern.dataCells = data;
+    pattern.windowTaps = taps;
+    pattern.gridLength = data + pad_lo + pad_hi;
+    const int kernel_extent = (taps - 1) * tap_stride + 1 + rem;
+    pattern.positions = pattern.gridLength - kernel_extent + 1;
+    LERGAN_ASSERT(pattern.positions > 0,
+                  "sparseKernelPattern: kernel extent ", kernel_extent,
+                  " exceeds padded data length ", pattern.gridLength);
+
+    std::vector<std::vector<int>> masks(pattern.positions);
+    for (int j = 0; j < pattern.positions; ++j) {
+        for (int k = 0; k < taps; ++k) {
+            const int x = j + k * tap_stride;
+            if (x >= pad_lo && x < pad_lo + data)
+                masks[j].push_back(k);
+        }
+    }
+
+    groupMasks(masks, pattern);
+
+    // Interior = every tap lands on real data.
+    for (auto &g : pattern.groups)
+        g.interior = (static_cast<int>(g.mask.size()) == taps);
+    return pattern;
+}
+
+} // namespace lergan

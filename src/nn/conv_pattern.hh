@@ -1,0 +1,135 @@
+/**
+ * @file
+ * One-dimensional zero-pattern enumeration.
+ *
+ * Every zero-related structure in GAN training (paper Sec. III-A / IV-A)
+ * is separable: the zero pattern of a zero-inserted map is a tensor product
+ * of identical per-dimension patterns, so the set of distinct d-dimensional
+ * window masks is the d-fold product of the distinct 1-D masks, and reuse
+ * counts multiply. This file enumerates the 1-D patterns exactly; zfdr and
+ * the zero analysis compose them per dimension.
+ *
+ * Two pattern families cover all of GAN training:
+ *  - sparse grid  : a zero-inserted data vector (S'-1 zeros between
+ *    elements, R trailing zeros, P pad zeros each side) scanned by a dense
+ *    window. Models T-CONV forward, error backprop through S-CONV, and
+ *    W-CONV of T-CONV layers.
+ *  - sparse kernel: a dense data vector (P pad zeros each side) scanned by
+ *    a zero-inserted kernel (taps spaced S apart, R trailing zeros).
+ *    Models W-CONV of S-CONV layers (the paper's W-CONV-S).
+ */
+
+#ifndef LERGAN_NN_CONV_PATTERN_HH
+#define LERGAN_NN_CONV_PATTERN_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace lergan {
+
+/** A set of window positions that share one useful-tap mask. */
+struct MaskGroup {
+    /** Offsets (within the window / tap index space) that hit real data. */
+    std::vector<int> mask;
+    /** Number of window positions with exactly this mask. */
+    int reuse = 0;
+    /**
+     * True when this mask equals the pure periodic interior mask. Interior
+     * groups generalize the paper's InsideReshape along this dimension;
+     * non-interior groups are edge material.
+     */
+    bool interior = false;
+};
+
+/** Result of enumerating one dimension of a convolution zero pattern. */
+struct Pattern1D {
+    /** Distinct masks with reuse counts; reuses sum to positions. */
+    std::vector<MaskGroup> groups;
+    /** For each window position, the index of its group in @ref groups
+     *  (i.e. which reshaped matrix serves that position). */
+    std::vector<int> groupOfPosition;
+    /** Total sliding-window positions along this dimension. */
+    int positions = 0;
+    /** Full 1-D extent of the scanned object, including all zeros. */
+    int gridLength = 0;
+    /** Count of real (non-zero) cells along this dimension. */
+    int dataCells = 0;
+    /** Window width (dense family) or tap count (sparse-kernel family). */
+    int windowTaps = 0;
+
+    /** Number of distinct masks. */
+    std::size_t distinct() const { return groups.size(); }
+
+    /** Sum over positions of |mask| = useful multiplies per 1-D scan. */
+    std::uint64_t usefulTaps() const;
+
+    /** positions * windowTaps = total multiplies per 1-D scan. */
+    std::uint64_t totalTaps() const;
+
+    /** Largest reuse among interior groups (0 if none). */
+    int maxInteriorReuse() const;
+
+    /** The mask serving window position @p j. */
+    const std::vector<int> &
+    maskOf(int j) const
+    {
+        return groups[groupOfPosition[j]].mask;
+    }
+};
+
+/**
+ * Enumerate a sparse-grid pattern.
+ *
+ * The grid is: pad_lo zeros | data[0] (S'-1 zeros) data[1] ... data[I-1] |
+ * R zeros | pad_hi zeros, scanned by a dense window of @p kernel_width
+ * cells sliding with stride 1. Asymmetric padding (pad_lo != pad_hi)
+ * arises from even kernels with "same"-style shapes.
+ *
+ * @param data          I, number of real data elements.
+ * @param insert_stride S', so S'-1 zeros are inserted between elements.
+ * @param pad_lo        leading zero padding (already the *forward* pad,
+ *                      i.e. W - P' - 1 for a T-CONV).
+ * @param pad_hi        trailing zero padding.
+ * @param rem           R, trailing zeros appended after the data.
+ * @param kernel_width  dense window width in cells.
+ */
+Pattern1D sparseGridPattern(int data, int insert_stride, int pad_lo,
+                            int pad_hi, int rem, int kernel_width);
+
+/** Symmetric-padding convenience overload. */
+inline Pattern1D
+sparseGridPattern(int data, int insert_stride, int pad, int rem,
+                  int kernel_width)
+{
+    return sparseGridPattern(data, insert_stride, pad, pad, rem,
+                             kernel_width);
+}
+
+/**
+ * Enumerate a sparse-kernel pattern.
+ *
+ * The grid is: pad_lo zeros | data[0..I-1] | pad_hi zeros (dense data),
+ * scanned by a kernel whose taps sit at offsets {0, S, 2S, ..., (O-1)S}
+ * with R trailing zeros (total extent (O-1)S + 1 + R), sliding with
+ * stride 1.
+ *
+ * @param data       I, dense data length.
+ * @param pad_lo     leading zero padding.
+ * @param pad_hi     trailing zero padding.
+ * @param taps       O, number of kernel taps (the nabla-output side).
+ * @param tap_stride S, spacing between taps.
+ * @param rem        R, trailing zeros extending the kernel.
+ */
+Pattern1D sparseKernelPattern(int data, int pad_lo, int pad_hi, int taps,
+                              int tap_stride, int rem);
+
+/** Symmetric-padding convenience overload. */
+inline Pattern1D
+sparseKernelPattern(int data, int pad, int taps, int tap_stride, int rem)
+{
+    return sparseKernelPattern(data, pad, pad, taps, tap_stride, rem);
+}
+
+} // namespace lergan
+
+#endif // LERGAN_NN_CONV_PATTERN_HH

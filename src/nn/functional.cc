@@ -1,0 +1,346 @@
+#include "nn/functional.hh"
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+namespace {
+
+/** {channels, side x d}. */
+std::vector<int>
+activationShape(int channels, int side, int dims)
+{
+    std::vector<int> shape{channels};
+    shape.insert(shape.end(), dims, side);
+    return shape;
+}
+
+/** Prepend @p head to @p tail. */
+std::vector<int>
+cat(int head, const std::vector<int> &tail)
+{
+    std::vector<int> index{head};
+    index.insert(index.end(), tail.begin(), tail.end());
+    return index;
+}
+
+/** Prepend two heads to @p tail (kernel indices {oc, ic, w...}). */
+std::vector<int>
+cat2(int a, int b, const std::vector<int> &tail)
+{
+    std::vector<int> index{a, b};
+    index.insert(index.end(), tail.begin(), tail.end());
+    return index;
+}
+
+/**
+ * Map a zero-inserted-grid cell of a T-CONV to its input element.
+ *
+ * Per dimension, cell y holds input element t when
+ * y = (W - 1 - P') + t * S'; everything else is an inserted, trailing
+ * or padding zero.
+ *
+ * @return true and fill @p input_index when the cell holds data.
+ */
+bool
+gridCellToInput(const LayerSpec &layer, const std::vector<int> &cell,
+                std::vector<int> &input_index)
+{
+    const int pad_lo = layer.kernel - 1 - layer.pad;
+    input_index.resize(cell.size());
+    for (std::size_t d = 0; d < cell.size(); ++d) {
+        const int rel = cell[d] - pad_lo;
+        if (rel < 0 || rel % layer.stride != 0 ||
+            rel / layer.stride >= layer.inSize) {
+            return false;
+        }
+        input_index[d] = rel / layer.stride;
+    }
+    return true;
+}
+
+/** Per-dimension extents vector {side x d}. */
+std::vector<int>
+spatial(int side, int dims)
+{
+    return std::vector<int>(dims, side);
+}
+
+void
+checkShapes(const Tensor &activation, const std::vector<int> &expected,
+            const char *what)
+{
+    LERGAN_ASSERT(activation.shape() == expected, what,
+                  ": unexpected tensor shape");
+}
+
+} // namespace
+
+std::vector<int>
+inputShape(const LayerSpec &layer)
+{
+    return activationShape(layer.inChannels, layer.inSize,
+                           layer.spatialDims);
+}
+
+std::vector<int>
+outputShape(const LayerSpec &layer)
+{
+    return activationShape(layer.outChannels, layer.outSize,
+                           layer.spatialDims);
+}
+
+std::vector<int>
+kernelShape(const LayerSpec &layer)
+{
+    std::vector<int> shape{layer.outChannels, layer.inChannels};
+    shape.insert(shape.end(), layer.spatialDims, layer.kernel);
+    return shape;
+}
+
+Tensor
+tconvForwardRef(const Tensor &input, const Tensor &kernel,
+                const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::TConv, "tconvForwardRef: ",
+                  layer.name, " is not a T-CONV");
+    checkShapes(input, inputShape(layer), "tconvForwardRef input");
+    checkShapes(kernel, kernelShape(layer), "tconvForwardRef kernel");
+
+    Tensor out(outputShape(layer));
+    std::vector<int> cell(layer.spatialDims);
+    std::vector<int> t;
+    forEachIndex(spatial(layer.outSize, layer.spatialDims),
+                 [&](const std::vector<int> &p) {
+        forEachIndex(spatial(layer.kernel, layer.spatialDims),
+                     [&](const std::vector<int> &w) {
+            for (std::size_t d = 0; d < p.size(); ++d)
+                cell[d] = p[d] + w[d];
+            if (!gridCellToInput(layer, cell, t))
+                return;
+            for (int oc = 0; oc < layer.outChannels; ++oc) {
+                std::int64_t acc = 0;
+                for (int ic = 0; ic < layer.inChannels; ++ic)
+                    acc += input.at(cat(ic, t)) *
+                           kernel.at(cat2(oc, ic, w));
+                out.at(cat(oc, p)) += acc;
+            }
+        });
+    });
+    return out;
+}
+
+Tensor
+convForwardRef(const Tensor &input, const Tensor &kernel,
+               const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::Conv, "convForwardRef: ",
+                  layer.name, " is not an S-CONV");
+    checkShapes(input, inputShape(layer), "convForwardRef input");
+    checkShapes(kernel, kernelShape(layer), "convForwardRef kernel");
+
+    Tensor out(outputShape(layer));
+    std::vector<int> x(layer.spatialDims);
+    forEachIndex(spatial(layer.outSize, layer.spatialDims),
+                 [&](const std::vector<int> &q) {
+        forEachIndex(spatial(layer.kernel, layer.spatialDims),
+                     [&](const std::vector<int> &w) {
+            for (std::size_t d = 0; d < q.size(); ++d) {
+                x[d] = q[d] * layer.stride + w[d] - layer.pad;
+                if (x[d] < 0 || x[d] >= layer.inSize)
+                    return; // padding zero
+            }
+            for (int oc = 0; oc < layer.outChannels; ++oc) {
+                std::int64_t acc = 0;
+                for (int ic = 0; ic < layer.inChannels; ++ic)
+                    acc += input.at(cat(ic, x)) *
+                           kernel.at(cat2(oc, ic, w));
+                out.at(cat(oc, q)) += acc;
+            }
+        });
+    });
+    return out;
+}
+
+Tensor
+convBackwardDataRef(const Tensor &grad_out, const Tensor &kernel,
+                    const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::Conv, "convBackwardDataRef: ",
+                  layer.name, " is not an S-CONV");
+    checkShapes(grad_out, outputShape(layer), "convBackwardDataRef grad");
+    checkShapes(kernel, kernelShape(layer), "convBackwardDataRef kernel");
+
+    Tensor grad_in(inputShape(layer));
+    std::vector<int> x(layer.spatialDims);
+    forEachIndex(spatial(layer.outSize, layer.spatialDims),
+                 [&](const std::vector<int> &q) {
+        forEachIndex(spatial(layer.kernel, layer.spatialDims),
+                     [&](const std::vector<int> &w) {
+            for (std::size_t d = 0; d < q.size(); ++d) {
+                x[d] = q[d] * layer.stride + w[d] - layer.pad;
+                if (x[d] < 0 || x[d] >= layer.inSize)
+                    return;
+            }
+            for (int ic = 0; ic < layer.inChannels; ++ic) {
+                std::int64_t acc = 0;
+                for (int oc = 0; oc < layer.outChannels; ++oc)
+                    acc += grad_out.at(cat(oc, q)) *
+                           kernel.at(cat2(oc, ic, w));
+                grad_in.at(cat(ic, x)) += acc;
+            }
+        });
+    });
+    return grad_in;
+}
+
+Tensor
+tconvBackwardDataRef(const Tensor &grad_out, const Tensor &kernel,
+                     const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::TConv,
+                  "tconvBackwardDataRef: ", layer.name,
+                  " is not a T-CONV");
+    checkShapes(grad_out, outputShape(layer), "tconvBackwardDataRef grad");
+    checkShapes(kernel, kernelShape(layer), "tconvBackwardDataRef kernel");
+
+    Tensor grad_in(inputShape(layer));
+    std::vector<int> cell(layer.spatialDims);
+    std::vector<int> t;
+    forEachIndex(spatial(layer.outSize, layer.spatialDims),
+                 [&](const std::vector<int> &p) {
+        forEachIndex(spatial(layer.kernel, layer.spatialDims),
+                     [&](const std::vector<int> &w) {
+            for (std::size_t d = 0; d < p.size(); ++d)
+                cell[d] = p[d] + w[d];
+            if (!gridCellToInput(layer, cell, t))
+                return;
+            for (int ic = 0; ic < layer.inChannels; ++ic) {
+                std::int64_t acc = 0;
+                for (int oc = 0; oc < layer.outChannels; ++oc)
+                    acc += grad_out.at(cat(oc, p)) *
+                           kernel.at(cat2(oc, ic, w));
+                grad_in.at(cat(ic, t)) += acc;
+            }
+        });
+    });
+    return grad_in;
+}
+
+Tensor
+convWeightGradRef(const Tensor &input, const Tensor &grad_out,
+                  const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::Conv, "convWeightGradRef: ",
+                  layer.name, " is not an S-CONV");
+    checkShapes(input, inputShape(layer), "convWeightGradRef input");
+    checkShapes(grad_out, outputShape(layer), "convWeightGradRef grad");
+
+    Tensor grad_kernel(kernelShape(layer));
+    std::vector<int> x(layer.spatialDims);
+    forEachIndex(spatial(layer.kernel, layer.spatialDims),
+                 [&](const std::vector<int> &w) {
+        forEachIndex(spatial(layer.outSize, layer.spatialDims),
+                     [&](const std::vector<int> &q) {
+            for (std::size_t d = 0; d < w.size(); ++d) {
+                x[d] = q[d] * layer.stride + w[d] - layer.pad;
+                if (x[d] < 0 || x[d] >= layer.inSize)
+                    return;
+            }
+            for (int oc = 0; oc < layer.outChannels; ++oc)
+                for (int ic = 0; ic < layer.inChannels; ++ic)
+                    grad_kernel.at(cat2(oc, ic, w)) +=
+                        input.at(cat(ic, x)) * grad_out.at(cat(oc, q));
+        });
+    });
+    return grad_kernel;
+}
+
+Tensor
+tconvWeightGradRef(const Tensor &input, const Tensor &grad_out,
+                   const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::TConv,
+                  "tconvWeightGradRef: ", layer.name, " is not a T-CONV");
+    checkShapes(input, inputShape(layer), "tconvWeightGradRef input");
+    checkShapes(grad_out, outputShape(layer), "tconvWeightGradRef grad");
+
+    Tensor grad_kernel(kernelShape(layer));
+    std::vector<int> cell(layer.spatialDims);
+    std::vector<int> t;
+    forEachIndex(spatial(layer.kernel, layer.spatialDims),
+                 [&](const std::vector<int> &w) {
+        forEachIndex(spatial(layer.outSize, layer.spatialDims),
+                     [&](const std::vector<int> &p) {
+            for (std::size_t d = 0; d < w.size(); ++d)
+                cell[d] = p[d] + w[d];
+            if (!gridCellToInput(layer, cell, t))
+                return;
+            for (int oc = 0; oc < layer.outChannels; ++oc)
+                for (int ic = 0; ic < layer.inChannels; ++ic)
+                    grad_kernel.at(cat2(oc, ic, w)) +=
+                        input.at(cat(ic, t)) * grad_out.at(cat(oc, p));
+        });
+    });
+    return grad_kernel;
+}
+
+
+Tensor
+fcForwardRef(const Tensor &input, const Tensor &kernel,
+             const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::FullyConnected,
+                  "fcForwardRef: ", layer.name, " is not FC");
+    Tensor out({layer.outChannels});
+    for (int o = 0; o < layer.outChannels; ++o) {
+        std::int64_t acc = 0;
+        for (int i = 0; i < layer.inChannels; ++i)
+            acc += input.flat(i) * kernel.at({o, i});
+        out.at({o}) = acc;
+    }
+    return out;
+}
+
+Tensor
+fcBackwardDataRef(const Tensor &grad_out, const Tensor &kernel,
+                  const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::FullyConnected,
+                  "fcBackwardDataRef: ", layer.name, " is not FC");
+    Tensor grad_in({layer.inChannels});
+    for (int i = 0; i < layer.inChannels; ++i) {
+        std::int64_t acc = 0;
+        for (int o = 0; o < layer.outChannels; ++o)
+            acc += grad_out.flat(o) * kernel.at({o, i});
+        grad_in.at({i}) = acc;
+    }
+    return grad_in;
+}
+
+Tensor
+fcWeightGradRef(const Tensor &input, const Tensor &grad_out,
+                const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::FullyConnected,
+                  "fcWeightGradRef: ", layer.name, " is not FC");
+    Tensor grad_kernel({layer.outChannels, layer.inChannels});
+    for (int o = 0; o < layer.outChannels; ++o)
+        for (int i = 0; i < layer.inChannels; ++i)
+            grad_kernel.at({o, i}) = grad_out.flat(o) * input.flat(i);
+    return grad_kernel;
+}
+
+std::int64_t
+innerProduct(const Tensor &a, const Tensor &b)
+{
+    LERGAN_ASSERT(a.size() == b.size(),
+                  "innerProduct: size mismatch ", a.size(), " vs ",
+                  b.size());
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        sum += a.flat(i) * b.flat(i);
+    return sum;
+}
+
+} // namespace lergan

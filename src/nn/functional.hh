@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reference (direct, zero-carrying) implementations of every GAN
+ * training convolution.
+ *
+ * These are the ground truth the ZFDR execution paths
+ * (zfdr/functional.hh) are verified against: T-CONV forward explicitly
+ * builds the zero-inserted grid of the paper's Fig. 4/5; the backward
+ * ops are the exact adjoints of the forward definitions, so the
+ * equivalence tests certify both the reshaping and our op lowering.
+ *
+ * Activation tensors are shaped {channels, side, side[, side]}; kernel
+ * tensors {out_ch, in_ch, k, k[, k]}. Cross-correlation convention
+ * throughout (no kernel flipping in the forward ops).
+ */
+
+#ifndef LERGAN_NN_FUNCTIONAL_HH
+#define LERGAN_NN_FUNCTIONAL_HH
+
+#include "nn/layer.hh"
+#include "nn/tensor.hh"
+
+namespace lergan {
+
+/** Activation shape for @p layer's input side. */
+std::vector<int> inputShape(const LayerSpec &layer);
+
+/** Activation shape for @p layer's output side. */
+std::vector<int> outputShape(const LayerSpec &layer);
+
+/** Kernel shape of @p layer. */
+std::vector<int> kernelShape(const LayerSpec &layer);
+
+/**
+ * T-CONV forward (generator layers): zero-insert the input per the
+ * layer's converse stride/padding/remainder, then convolve densely.
+ *
+ * @pre layer.kind == TConv.
+ */
+Tensor tconvForwardRef(const Tensor &input, const Tensor &kernel,
+                       const LayerSpec &layer);
+
+/** S-CONV forward (discriminator layers). @pre layer.kind == Conv. */
+Tensor convForwardRef(const Tensor &input, const Tensor &kernel,
+                      const LayerSpec &layer);
+
+/**
+ * Error backprop through an S-CONV: the adjoint of convForwardRef,
+ * mapping the output-side gradient to the input-side gradient.
+ */
+Tensor convBackwardDataRef(const Tensor &grad_out, const Tensor &kernel,
+                           const LayerSpec &layer);
+
+/** Error backprop through a T-CONV: the adjoint of tconvForwardRef. */
+Tensor tconvBackwardDataRef(const Tensor &grad_out, const Tensor &kernel,
+                            const LayerSpec &layer);
+
+/**
+ * Weight gradient of an S-CONV (the paper's W-CONV-S): correlate the
+ * padded input with the output gradient.
+ */
+Tensor convWeightGradRef(const Tensor &input, const Tensor &grad_out,
+                         const LayerSpec &layer);
+
+/**
+ * Weight gradient of a T-CONV (W-CONV of the generator): correlate the
+ * zero-inserted input with the output gradient.
+ */
+Tensor tconvWeightGradRef(const Tensor &input, const Tensor &grad_out,
+                          const LayerSpec &layer);
+
+/** FC forward: out = W^T x (kernel tensor shaped {out, in}). */
+Tensor fcForwardRef(const Tensor &input, const Tensor &kernel,
+                    const LayerSpec &layer);
+
+/** FC error backprop: grad_in = W grad_out. */
+Tensor fcBackwardDataRef(const Tensor &grad_out, const Tensor &kernel,
+                         const LayerSpec &layer);
+
+/** FC weight gradient: outer product grad_out x input. */
+Tensor fcWeightGradRef(const Tensor &input, const Tensor &grad_out,
+                       const LayerSpec &layer);
+
+/** Flat inner product of two same-shaped tensors (adjoint testing). */
+std::int64_t innerProduct(const Tensor &a, const Tensor &b);
+
+} // namespace lergan
+
+#endif // LERGAN_NN_FUNCTIONAL_HH

@@ -1,0 +1,76 @@
+#include "nn/model.hh"
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+const char *
+netRoleName(NetRole role)
+{
+    return role == NetRole::Generator ? "G" : "D";
+}
+
+const std::vector<LayerSpec> &
+GanModel::net(NetRole role) const
+{
+    return role == NetRole::Generator ? generator : discriminator;
+}
+
+std::uint64_t
+GanModel::totalWeights() const
+{
+    std::uint64_t total = 0;
+    for (const auto &l : generator)
+        total += l.numWeights();
+    for (const auto &l : discriminator)
+        total += l.numWeights();
+    return total;
+}
+
+bool
+GanModel::generatorHasConv() const
+{
+    for (const auto &l : generator)
+        if (l.kind == LayerKind::Conv)
+            return true;
+    return false;
+}
+
+bool
+GanModel::hasTConv(NetRole role) const
+{
+    for (const auto &l : net(role))
+        if (l.kind == LayerKind::TConv)
+            return true;
+    return false;
+}
+
+void
+GanModel::check() const
+{
+    LERGAN_ASSERT(!generator.empty() && !discriminator.empty(),
+                  name, ": both networks must be non-empty");
+    for (const auto *net : {&generator, &discriminator}) {
+        for (std::size_t i = 0; i < net->size(); ++i) {
+            const LayerSpec &layer = (*net)[i];
+            layer.check();
+            if (i + 1 < net->size()) {
+                const LayerSpec &next = (*net)[i + 1];
+                LERGAN_ASSERT(layer.outVolume() == next.inVolume(),
+                              name, ": activation volume mismatch between ",
+                              layer.name, " (", layer.outVolume(), ") and ",
+                              next.name, " (", next.inVolume(), ")");
+            }
+        }
+    }
+    // The generator must emit an itemSize^d item.
+    const LayerSpec &last = generator.back();
+    const int out_spatial =
+        last.kind == LayerKind::FullyConnected ? 1 : last.outSize;
+    LERGAN_ASSERT(out_spatial == itemSize || itemSize == 0 ||
+                      last.kind == LayerKind::FullyConnected,
+                  name, ": generator output spatial ", out_spatial,
+                  " != item size ", itemSize);
+}
+
+} // namespace lergan

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Whole-GAN shape description.
+ */
+
+#ifndef LERGAN_NN_MODEL_HH
+#define LERGAN_NN_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+
+namespace lergan {
+
+/** The two networks of a GAN. */
+enum class NetRole { Generator, Discriminator };
+
+/** @return "G" or "D". */
+const char *netRoleName(NetRole role);
+
+/**
+ * A fully shape-resolved GAN benchmark.
+ *
+ * Produced by parseGan() (nn/parser.hh); every layer satisfies
+ * LayerSpec::check() and consecutive layers agree on activation volumes.
+ */
+struct GanModel {
+    /** Benchmark name ("DCGAN"). */
+    std::string name;
+    /** Generator layers, input to output. */
+    std::vector<LayerSpec> generator;
+    /** Discriminator layers, input to output. */
+    std::vector<LayerSpec> discriminator;
+    /** Side length of the generated item (64 for 64x64 images). */
+    int itemSize = 0;
+    /** 2 for image GANs, 3 for volumetric (3D-GAN). */
+    int spatialDims = 2;
+
+    /** Layers of @p role. */
+    const std::vector<LayerSpec> &net(NetRole role) const;
+
+    /** Total weight count across both networks. */
+    std::uint64_t totalWeights() const;
+
+    /** True if any generator layer is a strided conv (DiscoGAN case). */
+    bool generatorHasConv() const;
+
+    /** True if any layer of @p role is a transposed conv. */
+    bool hasTConv(NetRole role) const;
+
+    /** Validate the whole model: per-layer checks plus chain consistency. */
+    void check() const;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_NN_MODEL_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Parser for the paper's Table V topology DSL.
+ *
+ * Examples (all from Table V):
+ *   "100f-(1024t-512t-256t-128t)(5k2s)-t3"
+ *   "3c4k2s-128c3k1s-(128c-256c-512c-1024c)(4k2s)-f11"
+ *   "784f-256f-256f-784f-f11"
+ *
+ * Grammar, per the paper's own description:
+ *  - "<N>c<K>k<S>s" / "<N>t<K>k<S>s" : conv / transposed-conv token with N
+ *    *input* feature maps, K x K kernel, stride S (1/S for t-conv).
+ *  - "<N>f" : fully-connected token with N input units.
+ *  - "(tok-tok-...)(KkSs)" : group sharing a kernel/stride spec.
+ *  - trailing "t<N>" / "f<N>" : terminal marker giving the final layer's
+ *    output feature maps / units.
+ *
+ * A *layer* is defined by each consecutive token pair: the leading token
+ * supplies the kind, input channel count and kernel/stride; the trailing
+ * token (or terminal marker) supplies the output channel count. A token
+ * pair that crosses into an FC token becomes a flatten + fully-connected
+ * layer, which also covers the mid-network FC bottleneck of
+ * DiscoGAN-5pairs.
+ *
+ * Spatial sizes and paddings are not part of the DSL; they are inferred
+ * with the standard "same"-style conventions the benchmark networks use:
+ * conv O = ceil(I / S), t-conv O = I * S', with padding and remainder
+ * solved from Eq. 8 / Eq. 5.
+ */
+
+#ifndef LERGAN_NN_PARSER_HH
+#define LERGAN_NN_PARSER_HH
+
+#include <string>
+
+#include "nn/model.hh"
+
+namespace lergan {
+
+/**
+ * Parse one GAN benchmark into a shape-resolved model.
+ *
+ * @param name          benchmark name (used for layer names/messages).
+ * @param generator     generator topology string.
+ * @param discriminator discriminator topology string.
+ * @param item_size     side length of generated items (Table V "Item Size").
+ * @param spatial_dims  2 for images, 3 for volumetric GANs.
+ * @return a validated GanModel (GanModel::check() has passed).
+ */
+GanModel parseGan(const std::string &name, const std::string &generator,
+                  const std::string &discriminator, int item_size,
+                  int spatial_dims = 2);
+
+} // namespace lergan
+
+#endif // LERGAN_NN_PARSER_HH

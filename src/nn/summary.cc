@@ -1,0 +1,116 @@
+#include "nn/summary.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+namespace {
+
+/** "512t5k2s"-style token for a conv layer with input count @p count. */
+std::string
+convToken(const LayerSpec &layer)
+{
+    std::ostringstream oss;
+    oss << layer.inChannels
+        << (layer.kind == LayerKind::Conv ? 'c' : 't') << layer.kernel
+        << 'k' << layer.stride << 's';
+    return oss.str();
+}
+
+} // namespace
+
+std::string
+toDsl(const GanModel &model, NetRole role)
+{
+    const auto &net = model.net(role);
+    LERGAN_ASSERT(!net.empty(), "cannot serialize an empty network");
+    std::vector<std::string> tokens;
+
+    for (std::size_t i = 0; i < net.size(); ++i) {
+        const LayerSpec &layer = net[i];
+        if (layer.kind != LayerKind::FullyConnected) {
+            tokens.push_back(convToken(layer));
+            // A conv chain handing off to an FC needs its closing
+            // channel count as an extra token (the "1024c" before "f1"
+            // in Table V's DCGAN discriminator).
+            if (i + 1 < net.size() &&
+                net[i + 1].kind == LayerKind::FullyConnected) {
+                tokens.push_back(
+                    std::to_string(layer.outChannels) +
+                    (layer.kind == LayerKind::Conv ? "c" : "t"));
+            }
+            continue;
+        }
+        // FC layers: the bottleneck pattern FC(flat->N), FC(N->flat)
+        // collapses back into a single "Nf" token; a leading FC emits
+        // its input count; an FC chain emits per-layer input counts.
+        const bool next_is_expansion =
+            i + 1 < net.size() &&
+            net[i + 1].kind == LayerKind::FullyConnected &&
+            i > 0 && net[i - 1].kind != LayerKind::FullyConnected &&
+            i + 2 < net.size() &&
+            net[i + 2].kind != LayerKind::FullyConnected;
+        if (next_is_expansion) {
+            tokens.push_back(std::to_string(layer.outChannels) + "f");
+            ++i; // the expansion FC is implied
+            continue;
+        }
+        const bool after_conv =
+            i > 0 && net[i - 1].kind != LayerKind::FullyConnected;
+        if (after_conv && i + 1 == net.size()) {
+            // Trailing flatten-FC becomes the terminal marker below.
+            continue;
+        }
+        tokens.push_back(std::to_string(layer.inChannels) + "f");
+    }
+
+    // Terminal marker: the final layer's kind and output count.
+    const LayerSpec &last = net.back();
+    const char kind_letter =
+        last.kind == LayerKind::FullyConnected
+            ? 'f'
+            : (last.kind == LayerKind::Conv ? 'c' : 't');
+    std::ostringstream out;
+    for (const std::string &token : tokens)
+        out << token << '-';
+    out << kind_letter << last.outChannels;
+    return out.str();
+}
+
+std::string
+describeLayer(const LayerSpec &layer)
+{
+    std::ostringstream oss;
+    oss << layer.inChannels << "x" << layer.inSize << "^"
+        << layer.spatialDims << " -> " << layer.outChannels << "x"
+        << layer.outSize << "^" << layer.spatialDims << " "
+        << layerKindName(layer.kind);
+    if (layer.kind != LayerKind::FullyConnected) {
+        oss << " k" << layer.kernel << " s" << layer.stride << " p"
+            << layer.pad;
+        if (layer.padHi != layer.pad)
+            oss << "/" << layer.padHi;
+        oss << " r" << layer.rem;
+    }
+    return oss.str();
+}
+
+void
+printModel(std::ostream &os, const GanModel &model)
+{
+    os << model.name << " (item " << model.itemSize << "^"
+       << model.spatialDims << ", " << model.totalWeights()
+       << " weights)\n";
+    for (const NetRole role : {NetRole::Generator,
+                               NetRole::Discriminator}) {
+        os << "  " << netRoleName(role) << ": " << toDsl(model, role)
+           << "\n";
+        for (const LayerSpec &layer : model.net(role))
+            os << "    " << layer.name << ": " << describeLayer(layer)
+               << "\n";
+    }
+}
+
+} // namespace lergan

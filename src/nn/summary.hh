@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Model introspection: pretty-printing and Table V DSL re-serialization.
+ *
+ * toDsl() reconstructs the paper's topology string from a resolved
+ * GanModel; parseGan(toDsl(m)) == m is a round-trip property the tests
+ * enforce, which pins both the parser and the shape resolver.
+ */
+
+#ifndef LERGAN_NN_SUMMARY_HH
+#define LERGAN_NN_SUMMARY_HH
+
+#include <ostream>
+#include <string>
+
+#include "nn/model.hh"
+
+namespace lergan {
+
+/** Rebuild the Table V DSL string for one network of @p model. */
+std::string toDsl(const GanModel &model, NetRole role);
+
+/** One-line layer description ("1024x4^2 -> 512x8^2 tconv k5 s2"). */
+std::string describeLayer(const LayerSpec &layer);
+
+/** Print the whole model, layer by layer. */
+void printModel(std::ostream &os, const GanModel &model);
+
+} // namespace lergan
+
+#endif // LERGAN_NN_SUMMARY_HH

@@ -1,0 +1,97 @@
+#include "nn/tensor.hh"
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape))
+{
+    LERGAN_ASSERT(!shape_.empty(), "tensors need at least one dimension");
+    std::size_t total = 1;
+    strides_.assign(shape_.size(), 1);
+    for (std::size_t d = shape_.size(); d-- > 0;) {
+        LERGAN_ASSERT(shape_[d] > 0, "tensor extents must be positive");
+        strides_[d] = total;
+        total *= static_cast<std::size_t>(shape_[d]);
+    }
+    data_.assign(total, 0);
+}
+
+Tensor
+Tensor::random(std::vector<int> shape, Rng &rng, int lo, int hi)
+{
+    LERGAN_ASSERT(hi >= lo, "empty random range");
+    Tensor tensor(std::move(shape));
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    for (auto &value : tensor.data_)
+        value = lo + static_cast<std::int64_t>(rng.nextBounded(span));
+    return tensor;
+}
+
+std::size_t
+Tensor::offset(const std::vector<int> &index) const
+{
+    LERGAN_ASSERT(index.size() == shape_.size(),
+                  "index rank ", index.size(), " != tensor rank ",
+                  shape_.size());
+    std::size_t flat = 0;
+    for (std::size_t d = 0; d < index.size(); ++d) {
+        LERGAN_ASSERT(index[d] >= 0 && index[d] < shape_[d],
+                      "index out of range in dimension ", d);
+        flat += strides_[d] * static_cast<std::size_t>(index[d]);
+    }
+    return flat;
+}
+
+std::int64_t &
+Tensor::at(const std::vector<int> &index)
+{
+    return data_[offset(index)];
+}
+
+std::int64_t
+Tensor::at(const std::vector<int> &index) const
+{
+    return data_[offset(index)];
+}
+
+Tensor
+Tensor::reshaped(std::vector<int> shape) const
+{
+    Tensor result(std::move(shape));
+    LERGAN_ASSERT(result.size() == size(),
+                  "reshaped: element count changes from ", size(), " to ",
+                  result.size());
+    result.data_ = data_;
+    return result;
+}
+
+void
+forEachIndex(const std::vector<int> &extents,
+             const std::function<void(const std::vector<int> &)> &fn)
+{
+    for (int extent : extents) {
+        if (extent <= 0)
+            return; // empty hyper-rectangle
+    }
+    if (extents.empty()) {
+        fn({});
+        return;
+    }
+    std::vector<int> index(extents.size(), 0);
+    for (;;) {
+        fn(index);
+        // Odometer increment, last dimension fastest.
+        std::size_t d = extents.size() - 1;
+        for (;;) {
+            if (++index[d] < extents[d])
+                break;
+            index[d] = 0;
+            if (d == 0)
+                return;
+            --d;
+        }
+    }
+}
+
+} // namespace lergan

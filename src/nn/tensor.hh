@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Dense integer tensor for the functional verification layer.
+ *
+ * Timing and energy never depend on values, but proving that ZFDR's
+ * reshaped computation is *bit-exact* with direct convolution does.
+ * Integer values make the equivalence checks exact (no FP tolerance),
+ * which matches the fixed-point arithmetic of the ReRAM substrate.
+ */
+
+#ifndef LERGAN_NN_TENSOR_HH
+#define LERGAN_NN_TENSOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace lergan {
+
+/** N-dimensional row-major integer tensor. */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(std::vector<int> shape);
+
+    /** Uniform random integers in [lo, hi]. */
+    static Tensor random(std::vector<int> shape, Rng &rng, int lo = -4,
+                         int hi = 4);
+
+    const std::vector<int> &shape() const { return shape_; }
+    std::size_t size() const { return data_.size(); }
+
+    /** Multi-index element access (size must match the rank). */
+    std::int64_t &at(const std::vector<int> &index);
+    std::int64_t at(const std::vector<int> &index) const;
+
+    /** Flat element access. */
+    std::int64_t &flat(std::size_t i) { return data_[i]; }
+    std::int64_t flat(std::size_t i) const { return data_[i]; }
+
+    /** Same data under a new shape (sizes must match). */
+    Tensor reshaped(std::vector<int> shape) const;
+
+    bool operator==(const Tensor &other) const = default;
+
+  private:
+    std::size_t offset(const std::vector<int> &index) const;
+
+    std::vector<int> shape_;
+    std::vector<std::size_t> strides_;
+    std::vector<std::int64_t> data_;
+};
+
+/**
+ * Invoke @p fn for every index tuple in the hyper-rectangle
+ * [0, extents[0]) x ... x [0, extents[d-1]), lexicographically.
+ */
+void forEachIndex(const std::vector<int> &extents,
+                  const std::function<void(const std::vector<int> &)> &fn);
+
+} // namespace lergan
+
+#endif // LERGAN_NN_TENSOR_HH

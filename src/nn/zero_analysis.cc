@@ -1,0 +1,81 @@
+#include "nn/zero_analysis.hh"
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+OpZeroStats &
+OpZeroStats::operator+=(const OpZeroStats &other)
+{
+    usefulMults += other.usefulMults;
+    totalMults += other.totalMults;
+    usefulInputs += other.usefulInputs;
+    totalInputs += other.totalInputs;
+    return *this;
+}
+
+OpZeroStats
+analyzeOp(const LayerOp &op)
+{
+    OpZeroStats stats;
+    stats.usefulInputs = op.inputData;
+    stats.totalInputs = op.inputWithZeros;
+
+    const std::uint64_t per_vector =
+        static_cast<std::uint64_t>(op.vecChannels) * op.outWidth *
+        op.vectorsPerPosition;
+
+    if (!op.zfdrApplicable()) {
+        // Dense op: every multiply is useful by the paper's convention
+        // (it does not charge dense S-CONVs for their padding zeros).
+        std::uint64_t mults = 0;
+        switch (op.pattern) {
+          case OpPattern::DenseFc:
+          case OpPattern::OuterProductFc:
+            mults = op.denseRows * op.outWidth;
+            break;
+          case OpPattern::DenseConv:
+            mults = ipow(op.positions, op.spatialDims) * op.denseRows *
+                    op.outWidth;
+            break;
+          default:
+            LERGAN_PANIC("unexpected dense pattern for ", op.label);
+        }
+        stats.usefulMults = stats.totalMults = mults;
+        return stats;
+    }
+
+    // Sparse op: the d-dimensional pattern is the tensor product of the
+    // 1-D pattern, so useful/total taps exponentiate.
+    const Pattern1D p = op.pattern1d();
+    stats.usefulMults = ipow(p.usefulTaps(), op.spatialDims) * per_vector;
+    stats.totalMults = ipow(p.totalTaps(), op.spatialDims) * per_vector;
+    return stats;
+}
+
+OpZeroStats
+analyzePhase(const GanModel &model, Phase phase)
+{
+    OpZeroStats stats;
+    for (const LayerOp &op : opsForPhase(model, phase))
+        stats += analyzeOp(op);
+    return stats;
+}
+
+OpZeroStats
+analyzeModel(const GanModel &model)
+{
+    OpZeroStats stats;
+    for (Phase phase : kAllPhases)
+        stats += analyzePhase(model, phase);
+    return stats;
+}
+
+std::uint64_t
+zeroCount(const LayerOp &op)
+{
+    LERGAN_ASSERT(op.zfdrApplicable(), "zeroCount needs a sparse op");
+    return op.inputWithZeros - op.inputData;
+}
+
+} // namespace lergan

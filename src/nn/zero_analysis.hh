@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Exact zero-related work and storage accounting (paper Sec. III-A).
+ *
+ * Reproduces the paper's counting of how many stored/transferred input
+ * values and how many multiplications are useful versus zero-related, per
+ * layer-op and aggregated per phase. The CONV1 worked example of the paper
+ * (147,456 inputs of which 16,384 useful; 18.06% multiply efficiency) is a
+ * unit-test anchor for this module.
+ */
+
+#ifndef LERGAN_NN_ZERO_ANALYSIS_HH
+#define LERGAN_NN_ZERO_ANALYSIS_HH
+
+#include <cstdint>
+
+#include "nn/training.hh"
+
+namespace lergan {
+
+/** Useful-vs-total work for one layer op (per input item). */
+struct OpZeroStats {
+    /** Multiplications involving only real data. */
+    std::uint64_t usefulMults = 0;
+    /** Multiplications performed without zero removal. */
+    std::uint64_t totalMults = 0;
+    /** Input elements that carry data. */
+    std::uint64_t usefulInputs = 0;
+    /** Input elements stored/transferred without zero removal. */
+    std::uint64_t totalInputs = 0;
+
+    /** Fraction of multiplications that are useful. */
+    double
+    multEfficiency() const
+    {
+        return totalMults == 0
+                   ? 1.0
+                   : static_cast<double>(usefulMults) / totalMults;
+    }
+
+    /** Storage expansion caused by zeros (totalInputs / usefulInputs). */
+    double
+    storageBlowup() const
+    {
+        return usefulInputs == 0
+                   ? 1.0
+                   : static_cast<double>(totalInputs) / usefulInputs;
+    }
+
+    /** Element-wise sum, for aggregation. */
+    OpZeroStats &operator+=(const OpZeroStats &other);
+};
+
+/** Exact zero accounting for one op. Dense ops are fully useful. */
+OpZeroStats analyzeOp(const LayerOp &op);
+
+/** Aggregate over all ops of one phase. */
+OpZeroStats analyzePhase(const GanModel &model, Phase phase);
+
+/** Aggregate over all six phases (weighted equally, per item). */
+OpZeroStats analyzeModel(const GanModel &model);
+
+/**
+ * Number of inserted/padding zeros for a T-CONV-style op per Eq. 6/7, or
+ * a W-CONV-S op per Eq. 9/10 — exposed for direct formula validation.
+ */
+std::uint64_t zeroCount(const LayerOp &op);
+
+} // namespace lergan
+
+#endif // LERGAN_NN_ZERO_ANALYSIS_HH

@@ -1,0 +1,181 @@
+#include "reram/allocator.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+std::uint64_t
+Allocation::reserved() const
+{
+    std::uint64_t total = 0;
+    for (const CrossbarRange &range : ranges)
+        total += range.count;
+    return total;
+}
+
+std::vector<int>
+Allocation::tiles() const
+{
+    std::vector<int> result;
+    for (const CrossbarRange &range : ranges) {
+        if (std::find(result.begin(), result.end(), range.tile) ==
+            result.end()) {
+            result.push_back(range.tile);
+        }
+    }
+    return result;
+}
+
+CArrayAllocator::CArrayAllocator(int banks, int tiles_per_bank,
+                                 std::uint64_t xbars_per_tile)
+    : tilesPerBank_(tiles_per_bank), xbarsPerTile_(xbars_per_tile),
+      used_(banks, std::vector<std::uint64_t>(tiles_per_bank, 0)),
+      failed_(banks, std::vector<bool>(tiles_per_bank, false)),
+      cursor_(banks, 0)
+{
+    LERGAN_ASSERT(banks > 0 && tiles_per_bank > 0 && xbars_per_tile > 0,
+                  "allocator: invalid geometry");
+}
+
+Allocation
+CArrayAllocator::allocate(int bank, std::uint64_t count,
+                          std::uint64_t per_tile_chunk,
+                          const std::string &label)
+{
+    LERGAN_ASSERT(bank >= 0 && bank < banks(), "allocate: bad bank ",
+                  bank);
+    LERGAN_ASSERT(per_tile_chunk > 0, "allocate: chunk must be positive");
+
+    Allocation allocation;
+    allocation.label = label;
+    std::uint64_t remaining = count;
+
+    // Pass 1: hand out real capacity, spreading chunk-wise from the
+    // round-robin cursor.
+    int tile = cursor_[bank];
+    for (int visited = 0; visited < tilesPerBank_ && remaining > 0;
+         ++visited, tile = (tile + 1) % tilesPerBank_) {
+        if (failed_[bank][tile])
+            continue;
+        const std::uint64_t free = xbarsPerTile_ - used_[bank][tile];
+        if (free == 0)
+            continue;
+        const std::uint64_t take =
+            std::min({remaining, free, per_tile_chunk});
+        CrossbarRange range;
+        range.bank = bank;
+        range.tile = tile;
+        range.first = used_[bank][tile];
+        range.count = take;
+        allocation.ranges.push_back(range);
+        used_[bank][tile] += take;
+        remaining -= take;
+    }
+    // Pass 2: keep sweeping tiles for whatever a chunk-limited first
+    // pass left over.
+    for (int visited = 0; visited < tilesPerBank_ && remaining > 0;
+         ++visited, tile = (tile + 1) % tilesPerBank_) {
+        if (failed_[bank][tile])
+            continue;
+        const std::uint64_t free = xbarsPerTile_ - used_[bank][tile];
+        if (free == 0)
+            continue;
+        const std::uint64_t take = std::min(remaining, free);
+        CrossbarRange range;
+        range.bank = bank;
+        range.tile = tile;
+        range.first = used_[bank][tile];
+        range.count = take;
+        allocation.ranges.push_back(range);
+        used_[bank][tile] += take;
+        remaining -= take;
+    }
+
+    if (remaining > 0) {
+        // The mapping exceeds the bank: the overflow time-shares
+        // crossbars (reprogramming between uses). Record it and pin the
+        // overflow to the cursor tile so the simulator's tile contention
+        // reflects the sharing.
+        allocation.oversubscribed = remaining;
+        oversubscribed_ += remaining;
+        if (allocation.ranges.empty()) {
+            int pin = cursor_[bank];
+            for (int probe = 0; probe < tilesPerBank_; ++probe) {
+                if (!failed_[bank][pin])
+                    break;
+                pin = (pin + 1) % tilesPerBank_;
+            }
+            CrossbarRange range;
+            range.bank = bank;
+            range.tile = pin;
+            range.first = 0;
+            range.count = 0;
+            allocation.ranges.push_back(range);
+        }
+    }
+
+    cursor_[bank] = tile;
+    return allocation;
+}
+
+std::uint64_t
+CArrayAllocator::freeInBank(int bank) const
+{
+    LERGAN_ASSERT(bank >= 0 && bank < banks(), "freeInBank: bad bank");
+    std::uint64_t free = 0;
+    for (int tile = 0; tile < tilesPerBank_; ++tile) {
+        if (!failed_[bank][tile])
+            free += xbarsPerTile_ - used_[bank][tile];
+    }
+    return free;
+}
+
+std::uint64_t
+CArrayAllocator::usedInTile(int bank, int tile) const
+{
+    LERGAN_ASSERT(bank >= 0 && bank < banks() && tile >= 0 &&
+                      tile < tilesPerBank_,
+                  "usedInTile: bad coordinates");
+    return used_[bank][tile];
+}
+
+void
+CArrayAllocator::markFailed(int bank, int tile)
+{
+    LERGAN_ASSERT(bank >= 0 && bank < banks() && tile >= 0 &&
+                      tile < tilesPerBank_,
+                  "markFailed: bad coordinates");
+    LERGAN_ASSERT(used_[bank][tile] == 0,
+                  "markFailed: tile already holds allocations");
+    failed_[bank][tile] = true;
+}
+
+bool
+CArrayAllocator::isFailed(int bank, int tile) const
+{
+    LERGAN_ASSERT(bank >= 0 && bank < banks() && tile >= 0 &&
+                      tile < tilesPerBank_,
+                  "isFailed: bad coordinates");
+    return failed_[bank][tile];
+}
+
+void
+CArrayAllocator::printMap(std::ostream &os) const
+{
+    for (int bank = 0; bank < banks(); ++bank) {
+        os << "bank " << bank << ": ";
+        for (int tile = 0; tile < tilesPerBank_; ++tile) {
+            const double fill = static_cast<double>(used_[bank][tile]) /
+                                static_cast<double>(xbarsPerTile_);
+            os << std::setw(4) << static_cast<int>(100 * fill) << "%";
+        }
+        os << "  (free " << freeInBank(bank) << " xbars)\n";
+    }
+    if (oversubscribed_ > 0)
+        os << "oversubscribed: " << oversubscribed_ << " crossbars\n";
+}
+
+} // namespace lergan

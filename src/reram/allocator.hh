@@ -1,0 +1,111 @@
+/**
+ * @file
+ * CArray crossbar allocation.
+ *
+ * The compiler needs to place every reshaped weight matrix (and its
+ * replicas) into actual crossbars inside actual tiles. This allocator
+ * hands out crossbar ranges per bank, spreading an op's crossbars over
+ * consecutive tiles for wire-level parallelism, and keeps exact
+ * capacity accounting so oversubscription (a mapping larger than the
+ * bank) is detected and reported instead of silently assumed away.
+ */
+
+#ifndef LERGAN_RERAM_ALLOCATOR_HH
+#define LERGAN_RERAM_ALLOCATOR_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lergan {
+
+/** A contiguous run of crossbars inside one tile. */
+struct CrossbarRange {
+    int bank = -1;
+    int tile = -1;
+    std::uint64_t first = 0; ///< first crossbar index within the tile
+    std::uint64_t count = 0;
+};
+
+/** One allocation (possibly spanning several tiles). */
+struct Allocation {
+    /** Owner label ("G.l2.tconv@G.fwd"). */
+    std::string label;
+    std::vector<CrossbarRange> ranges;
+    /** Crossbars requested beyond the bank's remaining capacity; these
+     *  time-share physical crossbars (reprogramming), which the
+     *  simulator models as tile contention. */
+    std::uint64_t oversubscribed = 0;
+
+    /** Total crossbars actually reserved. */
+    std::uint64_t reserved() const;
+
+    /** Tiles this allocation touches, in first-use order. */
+    std::vector<int> tiles() const;
+};
+
+/** Per-bank crossbar bookkeeping. */
+class CArrayAllocator
+{
+  public:
+    /**
+     * @param banks           number of banks.
+     * @param tiles_per_bank  tiles per bank (16).
+     * @param xbars_per_tile  CArray crossbars per tile (8192).
+     */
+    CArrayAllocator(int banks, int tiles_per_bank,
+                    std::uint64_t xbars_per_tile);
+
+    /**
+     * Allocate @p count crossbars in @p bank, starting at the tile after
+     * the previous allocation (round-robin), spreading across tiles in
+     * chunks of @p per_tile_chunk so multi-crossbar ops use parallel
+     * wires. If the bank runs out, the remainder is recorded as
+     * oversubscription on the least-loaded tiles.
+     */
+    Allocation allocate(int bank, std::uint64_t count,
+                        std::uint64_t per_tile_chunk,
+                        const std::string &label);
+
+    /**
+     * Mark a tile as failed (manufacturing defect or worn-out cells):
+     * no future allocation touches it. Fault-injection tests use this
+     * to show mappings route around dead tiles.
+     */
+    void markFailed(int bank, int tile);
+
+    /** True when the tile was marked failed. */
+    bool isFailed(int bank, int tile) const;
+
+    /** Crossbars still free in @p bank. */
+    std::uint64_t freeInBank(int bank) const;
+
+    /** Crossbars used in one tile (excluding oversubscription). */
+    std::uint64_t usedInTile(int bank, int tile) const;
+
+    /** Total oversubscribed crossbars across all banks. */
+    std::uint64_t totalOversubscribed() const { return oversubscribed_; }
+
+    int banks() const { return static_cast<int>(used_.size()); }
+    int tilesPerBank() const { return tilesPerBank_; }
+    std::uint64_t xbarsPerTile() const { return xbarsPerTile_; }
+
+    /** Print a per-tile occupancy map. */
+    void printMap(std::ostream &os) const;
+
+  private:
+    int tilesPerBank_;
+    std::uint64_t xbarsPerTile_;
+    /** used_[bank][tile] = crossbars handed out. */
+    std::vector<std::vector<std::uint64_t>> used_;
+    /** failed_[bank][tile] = tile is unusable. */
+    std::vector<std::vector<bool>> failed_;
+    /** Next tile to start allocating from, per bank. */
+    std::vector<int> cursor_;
+    std::uint64_t oversubscribed_ = 0;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_RERAM_ALLOCATOR_HH

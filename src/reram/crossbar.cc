@@ -1,0 +1,110 @@
+#include "reram/crossbar.hh"
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+ComputeCrossbar::ComputeCrossbar(CrossbarSpec spec) : spec_(spec)
+{
+    LERGAN_ASSERT(spec_.rows > 0, "crossbar needs rows");
+    LERGAN_ASSERT(spec_.weightBits % spec_.cellBits == 0,
+                  "weight bits must slice evenly into cells");
+    LERGAN_ASSERT(spec_.weightBits <= 30 && spec_.inputBits <= 30,
+                  "precision too wide for the functional model");
+    // Unprogrammed rows hold the zero weight (bias form).
+    program({});
+}
+
+void
+ComputeCrossbar::program(const std::vector<std::int32_t> &weights)
+{
+    LERGAN_ASSERT(static_cast<int>(weights.size()) <= spec_.rows,
+                  "programming ", weights.size(), " rows into a ",
+                  spec_.rows, "-row crossbar");
+    const std::int32_t limit = 1 << (spec_.weightBits - 1);
+    const std::uint32_t bias = static_cast<std::uint32_t>(limit);
+
+    biased_.assign(spec_.rows, bias); // zero weight in bias form
+    for (std::size_t r = 0; r < weights.size(); ++r) {
+        LERGAN_ASSERT(weights[r] >= -limit && weights[r] < limit,
+                      "weight ", weights[r], " does not fit ",
+                      spec_.weightBits, " bits");
+        biased_[r] = static_cast<std::uint32_t>(weights[r] + limit);
+    }
+    programmedRows_ = static_cast<int>(weights.size());
+
+    // Slice into cells, most-significant slice first.
+    const std::uint32_t cell_mask = (1u << spec_.cellBits) - 1;
+    cells_.assign(spec_.rows, std::vector<int>(spec_.slices(), 0));
+    for (int r = 0; r < spec_.rows; ++r) {
+        for (int s = 0; s < spec_.slices(); ++s) {
+            const int shift = (spec_.slices() - 1 - s) * spec_.cellBits;
+            cells_[r][s] = static_cast<int>((biased_[r] >> shift) &
+                                            cell_mask);
+        }
+    }
+}
+
+int
+ComputeCrossbar::cell(int row, int slice) const
+{
+    LERGAN_ASSERT(row >= 0 && row < spec_.rows && slice >= 0 &&
+                      slice < spec_.slices(),
+                  "cell index out of range");
+    return cells_[row][slice];
+}
+
+std::int64_t
+ComputeCrossbar::multiply(const std::vector<std::int32_t> &inputs) const
+{
+    LERGAN_ASSERT(static_cast<int>(inputs.size()) <= spec_.rows,
+                  "feeding ", inputs.size(), " inputs into a ",
+                  spec_.rows, "-row crossbar");
+    const std::int32_t in_limit = 1 << (spec_.inputBits - 1);
+    const std::uint32_t in_bias = static_cast<std::uint32_t>(in_limit);
+
+    // Biased inputs; absent rows carry the zero input (bias form).
+    std::vector<std::uint32_t> biased_in(spec_.rows, in_bias);
+    for (std::size_t r = 0; r < inputs.size(); ++r) {
+        LERGAN_ASSERT(inputs[r] >= -in_limit && inputs[r] < in_limit,
+                      "input ", inputs[r], " does not fit ",
+                      spec_.inputBits, " bits");
+        biased_in[r] = static_cast<std::uint32_t>(inputs[r] + in_limit);
+    }
+
+    // The analog part: for every input bit-plane and every cell slice,
+    // the column accumulates bit * cell-level; shift-and-add merges the
+    // partial sums — this is the datapath ISAAC's ADC pipeline digitizes.
+    std::int64_t biased_sum = 0;
+    for (int b = 0; b < spec_.inputBits; ++b) {
+        for (int s = 0; s < spec_.slices(); ++s) {
+            const int w_shift = (spec_.slices() - 1 - s) * spec_.cellBits;
+            std::int64_t column = 0;
+            for (int r = 0; r < spec_.rows; ++r) {
+                if ((biased_in[r] >> b) & 1u)
+                    column += cells_[r][s];
+            }
+            biased_sum += column << (b + w_shift);
+        }
+    }
+
+    // Digital bias correction: sum_r (W^ - Bw)(X^ - Bx)
+    //   = S - Bw * sum X^ - Bx * sum W^ + rows * Bw * Bx.
+    std::int64_t sum_w = 0, sum_x = 0;
+    for (int r = 0; r < spec_.rows; ++r) {
+        sum_w += biased_[r];
+        sum_x += biased_in[r];
+    }
+    const std::int64_t bw = 1ll << (spec_.weightBits - 1);
+    const std::int64_t bx = 1ll << (spec_.inputBits - 1);
+    return biased_sum - bw * sum_x - bx * sum_w +
+           static_cast<std::int64_t>(spec_.rows) * bw * bx;
+}
+
+int
+ComputeCrossbar::activationsPerMmv() const
+{
+    return spec_.inputBits * spec_.slices();
+}
+
+} // namespace lergan

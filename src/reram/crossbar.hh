@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Functional model of an ISAAC-style ReRAM compute crossbar.
+ *
+ * The paper's CArrays use ISAAC's crossbar design (Sec. V): 16-bit
+ * weights are bit-sliced across 4-bit cells (4 slices side by side),
+ * inputs are fed bit-serially through 1-bit DACs, per-column analog sums
+ * are digitized and shift-and-add logic reassembles the full-precision
+ * dot product. This model executes that datapath exactly so tests can
+ * certify the sliced arithmetic is lossless — the fixed-point substrate
+ * really computes the same MMV the math says.
+ *
+ * Weights are signed 16-bit fixed-point; negative values are stored in
+ * two's-complement bias form (ISAAC's scheme: store w + 2^15, subtract
+ * the input sum times the bias after accumulation).
+ */
+
+#ifndef LERGAN_RERAM_CROSSBAR_HH
+#define LERGAN_RERAM_CROSSBAR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace lergan {
+
+/** Geometry + precision of the compute crossbar. */
+struct CrossbarSpec {
+    int rows = 128;      ///< wordlines (vector length)
+    int cellBits = 4;    ///< bits per ReRAM cell
+    int weightBits = 16; ///< operand precision
+    int inputBits = 16;  ///< bit-serial input precision
+
+    int slices() const { return weightBits / cellBits; }
+};
+
+/**
+ * One logical crossbar column group holding a vector of 16-bit weights
+ * across cell slices, able to execute bit-serial MMVs.
+ */
+class ComputeCrossbar
+{
+  public:
+    explicit ComputeCrossbar(CrossbarSpec spec = CrossbarSpec{});
+
+    const CrossbarSpec &spec() const { return spec_; }
+
+    /**
+     * Program one column with @p weights (signed, must fit weightBits).
+     * Shorter vectors leave the remaining rows at zero.
+     */
+    void program(const std::vector<std::int32_t> &weights);
+
+    /** Cell conductance level of (row, slice), for inspection. */
+    int cell(int row, int slice) const;
+
+    /**
+     * Execute the bit-serial MMV: @p inputs are signed values that fit
+     * inputBits; the result is the exact dot product, reassembled from
+     * cellBits x 1-bit partial sums by shift-and-add.
+     */
+    std::int64_t multiply(const std::vector<std::int32_t> &inputs) const;
+
+    /** Number of analog column activations one MMV performs
+     *  (slices x input bits), the unit the energy model charges. */
+    int activationsPerMmv() const;
+
+  private:
+    CrossbarSpec spec_;
+    /** Biased (unsigned) weights, one per row. */
+    std::vector<std::uint32_t> biased_;
+    /** Cell levels: cells_[row][slice], most-significant slice first. */
+    std::vector<std::vector<int>> cells_;
+    /** Count of programmed rows (for the bias correction term). */
+    int programmedRows_ = 0;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_RERAM_CROSSBAR_HH

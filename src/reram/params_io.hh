@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Load / save ReRamParams as "key = value" text.
+ *
+ * Lets experiments run against modified device assumptions (e.g. the
+ * Fig. 24 discussion's 1-pJ cell switching and 60%-better ADC) without
+ * recompiling: write a params file, pass it to a bench or example.
+ * Unknown keys are fatal — a typo must not silently keep the default.
+ */
+
+#ifndef LERGAN_RERAM_PARAMS_IO_HH
+#define LERGAN_RERAM_PARAMS_IO_HH
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "reram/params.hh"
+
+namespace lergan {
+
+/**
+ * Parse "key = value" lines ('#' starts a comment; blank lines ignored)
+ * over the defaults in @p params. Fatal on unknown keys or malformed
+ * numbers.
+ */
+void loadParams(std::istream &is, ReRamParams &params);
+
+/** Convenience: load from a file path (fatal if unreadable). */
+ReRamParams loadParamsFile(const std::string &path);
+
+/** Write every tunable as "key = value" (round-trips with loadParams). */
+void saveParams(std::ostream &os, const ReRamParams &params);
+
+} // namespace lergan
+
+#endif // LERGAN_RERAM_PARAMS_IO_HH

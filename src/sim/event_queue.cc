@@ -1,0 +1,43 @@
+#include "sim/event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+void
+EventQueue::scheduleAt(PicoSeconds when, Callback fn)
+{
+    LERGAN_ASSERT(when >= now_, "event scheduled into the past: ", when,
+                  " < ", now_);
+    events_.push(Entry{when, nextSeq_++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(PicoSeconds delay, Callback fn)
+{
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+PicoSeconds
+EventQueue::run()
+{
+    while (!events_.empty()) {
+        // Copy out before pop so the callback may schedule more events.
+        Entry entry = events_.top();
+        events_.pop();
+        now_ = entry.when;
+        entry.fn();
+    }
+    return now_;
+}
+
+void
+EventQueue::reset()
+{
+    while (!events_.empty())
+        events_.pop();
+    now_ = 0;
+    nextSeq_ = 0;
+}
+
+} // namespace lergan

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A classic calendar of (time, sequence, callback) triples. Events at the
+ * same timestamp fire in scheduling order, which makes every simulation in
+ * this project fully deterministic.
+ */
+
+#ifndef LERGAN_SIM_EVENT_QUEUE_HH
+#define LERGAN_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lergan {
+
+/** Deterministic discrete-event queue. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    PicoSeconds now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @pre when >= now(); scheduling into the past is a simulator bug.
+     */
+    void scheduleAt(PicoSeconds when, Callback fn);
+
+    /** Schedule @p fn to run @p delay after the current time. */
+    void scheduleAfter(PicoSeconds delay, Callback fn);
+
+    /** @return number of events not yet fired. */
+    std::size_t pending() const { return events_.size(); }
+
+    /**
+     * Run until the queue drains.
+     *
+     * @return the time of the last fired event (simulation end time).
+     */
+    PicoSeconds run();
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry {
+        PicoSeconds when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> events_;
+    PicoSeconds now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * FIFO-reservation hardware resources.
+ *
+ * A Resource models one serially-occupied unit of hardware (a tile's MMV
+ * pipeline, one interconnect link). Tasks reserve an interval starting no
+ * earlier than both their ready time and the resource's next free time;
+ * this yields first-come-first-served contention without modeling
+ * per-cycle arbitration.
+ */
+
+#ifndef LERGAN_SIM_RESOURCE_HH
+#define LERGAN_SIM_RESOURCE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lergan {
+
+/** A serially-shared hardware unit with FIFO reservations. */
+class Resource
+{
+  public:
+    /** @param name diagnostic name ("bank0.tile3", "link.v.12"). */
+    explicit Resource(std::string name) : name_(std::move(name)) {}
+
+    /**
+     * Reserve the resource for @p duration, starting at or after @p ready.
+     *
+     * @return the actual start time of the reservation.
+     */
+    PicoSeconds
+    reserve(PicoSeconds ready, PicoSeconds duration)
+    {
+        PicoSeconds start = ready > nextFree_ ? ready : nextFree_;
+        nextFree_ = start + duration;
+        busyTime_ += duration;
+        ++reservations_;
+        return start;
+    }
+
+    /** Earliest time a new reservation could begin. */
+    PicoSeconds nextFree() const { return nextFree_; }
+
+    /** Total time this resource has been occupied. */
+    PicoSeconds busyTime() const { return busyTime_; }
+
+    /** Number of reservations made. */
+    std::uint64_t reservations() const { return reservations_; }
+
+    const std::string &name() const { return name_; }
+
+    /** Forget all reservations (new simulation run). */
+    void
+    reset()
+    {
+        nextFree_ = 0;
+        busyTime_ = 0;
+        reservations_ = 0;
+    }
+
+  private:
+    std::string name_;
+    PicoSeconds nextFree_ = 0;
+    PicoSeconds busyTime_ = 0;
+    std::uint64_t reservations_ = 0;
+};
+
+/** Owning pool of resources, indexed by a dense id. */
+class ResourcePool
+{
+  public:
+    /** Create a resource and return its id. */
+    std::size_t
+    create(std::string name)
+    {
+        resources_.emplace_back(std::move(name));
+        return resources_.size() - 1;
+    }
+
+    Resource &operator[](std::size_t id) { return resources_[id]; }
+    const Resource &operator[](std::size_t id) const
+    {
+        return resources_[id];
+    }
+
+    std::size_t size() const { return resources_.size(); }
+
+    /** Reset every resource for a fresh run. */
+    void
+    resetAll()
+    {
+        for (auto &r : resources_)
+            r.reset();
+    }
+
+  private:
+    std::vector<Resource> resources_;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_SIM_RESOURCE_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Task-DAG executor on top of the event queue and resource pool.
+ *
+ * The compiler lowers one GAN training iteration into a DAG of compute and
+ * transfer tasks. Each task occupies one or more resources for a fixed
+ * duration and contributes energy under a named statistic key. Execution
+ * is event-driven: a task fires when its last dependency completes, then
+ * reserves its resources FIFO, which naturally models pipelining across a
+ * minibatch and contention on tiles and links.
+ */
+
+#ifndef LERGAN_SIM_TASK_GRAPH_HH
+#define LERGAN_SIM_TASK_GRAPH_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+#include "sim/trace.hh"
+
+namespace lergan {
+
+/** Dense id of a task inside one TaskGraph. */
+using TaskId = std::size_t;
+
+/** Sentinel meaning "no task". */
+constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
+
+/** One schedulable unit of work. */
+struct Task {
+    /** Diagnostic label ("D.fwd L3 img17"). */
+    std::string label;
+    /** Resources occupied for the whole duration (may be empty). */
+    std::vector<std::size_t> resources;
+    /** Occupancy time. Zero-duration tasks act as barriers. */
+    PicoSeconds duration = 0;
+    /** Energy charged when the task runs. */
+    PicoJoules energy = 0;
+    /** Statistic key the energy is charged to ("energy.compute.adc"). */
+    std::string energyKey;
+};
+
+/** Result of executing a task graph. */
+struct ExecResult {
+    /** Completion time of the last task. */
+    PicoSeconds makespan = 0;
+    /** Energy per key, plus bookkeeping counters. */
+    StatSet stats;
+    /** Per-task end times (indexed by TaskId), for chained graphs. */
+    std::vector<PicoSeconds> endTimes;
+};
+
+/**
+ * A directed acyclic graph of tasks with resource requirements.
+ *
+ * Build with addTask()/addDep(), then run execute(). The graph itself is
+ * immutable during execution and may be executed repeatedly (resources and
+ * runtime state are reset per run).
+ */
+class TaskGraph
+{
+  public:
+    /** Append a task; @return its id. */
+    TaskId addTask(Task task);
+
+    /** Declare that @p task cannot start until @p dep has finished. */
+    void addDep(TaskId task, TaskId dep);
+
+    /** Number of tasks in the graph. */
+    std::size_t size() const { return tasks_.size(); }
+
+    /** Read-only access for inspection in tests. */
+    const Task &task(TaskId id) const { return tasks_[id]; }
+
+    /**
+     * Execute the whole DAG to completion.
+     *
+     * @param pool   resource pool the task resource ids index into.
+     * @param tracer optional recorder of per-task execution intervals.
+     * @return makespan, accumulated energy statistics and task end times.
+     */
+    ExecResult execute(ResourcePool &pool, Tracer *tracer = nullptr) const;
+
+  private:
+    std::vector<Task> tasks_;
+    std::vector<std::vector<TaskId>> successors_;
+    std::vector<std::uint32_t> depCount_;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_SIM_TASK_GRAPH_HH

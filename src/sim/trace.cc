@@ -1,0 +1,76 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "common/json.hh"
+
+namespace lergan {
+
+void
+Tracer::record(std::string label, PicoSeconds start, PicoSeconds end,
+               std::size_t lane)
+{
+    events_.push_back(TraceEvent{std::move(label), start, end, lane});
+}
+
+void
+Tracer::exportChromeTrace(std::ostream &os,
+                          const std::vector<std::string> &lane_names) const
+{
+    JsonWriter json(os);
+    json.beginObject();
+    json.key("traceEvents").beginArray();
+    for (const TraceEvent &event : events_) {
+        const std::uint64_t lane =
+            event.lane == SIZE_MAX ? 0 : event.lane + 1;
+        json.beginObject();
+        json.key("name").value(event.label);
+        json.key("ph").value("X");
+        json.key("ts").value(static_cast<double>(event.start) * 1e-6);
+        json.key("dur").value(
+            static_cast<double>(event.end - event.start) * 1e-6);
+        json.key("pid").value(1);
+        json.key("tid").value(lane);
+        json.endObject();
+    }
+    // Name the lanes after their resources.
+    for (std::size_t lane = 0; lane < lane_names.size(); ++lane) {
+        json.beginObject();
+        json.key("name").value("thread_name");
+        json.key("ph").value("M");
+        json.key("pid").value(1);
+        json.key("tid").value(static_cast<std::uint64_t>(lane + 1));
+        json.key("args").beginObject();
+        json.key("name").value(lane_names[lane]);
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << '\n';
+}
+
+void
+Tracer::printTimeline(std::ostream &os, std::size_t limit) const
+{
+    std::vector<const TraceEvent *> sorted;
+    sorted.reserve(events_.size());
+    for (const TraceEvent &event : events_)
+        sorted.push_back(&event);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const TraceEvent *a, const TraceEvent *b) {
+                  return a->start < b->start;
+              });
+    const std::size_t shown = std::min(limit, sorted.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+        const TraceEvent &e = *sorted[i];
+        os << std::fixed << std::setprecision(3) << std::setw(12)
+           << psToNs(e.start) / 1e3 << " us  +" << std::setw(10)
+           << psToNs(e.end - e.start) / 1e3 << " us  " << e.label << '\n';
+    }
+    if (sorted.size() > shown)
+        os << "... (" << sorted.size() - shown << " more events)\n";
+}
+
+} // namespace lergan

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Execution tracing for simulated task graphs.
+ *
+ * A Tracer records every task's (label, start, end, lane) interval; the
+ * result can be dumped as a text timeline or exported in the Chrome
+ * trace-event format (chrome://tracing, Perfetto) for visual inspection
+ * of pipelining and contention.
+ */
+
+#ifndef LERGAN_SIM_TRACE_HH
+#define LERGAN_SIM_TRACE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace lergan {
+
+/** One recorded task execution. */
+struct TraceEvent {
+    std::string label;
+    PicoSeconds start = 0;
+    PicoSeconds end = 0;
+    /** Display lane: the task's first resource id (SIZE_MAX if none). */
+    std::size_t lane = SIZE_MAX;
+};
+
+/** Collects task execution intervals during a simulation run. */
+class Tracer
+{
+  public:
+    /** Record one completed task. */
+    void record(std::string label, PicoSeconds start, PicoSeconds end,
+                std::size_t lane);
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Drop all recorded events. */
+    void clear() { events_.clear(); }
+
+    /**
+     * Export in the Chrome trace-event JSON format. Lanes become thread
+     * ids; times are emitted in microseconds as the format expects.
+     *
+     * @param lane_names optional resource names indexed by lane id.
+     */
+    void exportChromeTrace(
+        std::ostream &os,
+        const std::vector<std::string> &lane_names = {}) const;
+
+    /** Print a compact text timeline (first @p limit events). */
+    void printTimeline(std::ostream &os, std::size_t limit = 50) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_SIM_TRACE_HH

@@ -1,0 +1,69 @@
+#include "sim/utilization.hh"
+
+#include <algorithm>
+#include <iomanip>
+
+namespace lergan {
+
+std::vector<ResourceUsage>
+topBusyResources(const ResourcePool &pool, PicoSeconds makespan,
+                 std::size_t top_k)
+{
+    std::vector<ResourceUsage> usage;
+    usage.reserve(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        const Resource &res = pool[i];
+        ResourceUsage entry;
+        entry.name = res.name();
+        entry.busy = res.busyTime();
+        entry.reservations = res.reservations();
+        entry.utilization =
+            makespan == 0 ? 0.0
+                          : static_cast<double>(res.busyTime()) /
+                                static_cast<double>(makespan);
+        usage.push_back(std::move(entry));
+    }
+    std::sort(usage.begin(), usage.end(),
+              [](const ResourceUsage &a, const ResourceUsage &b) {
+                  return a.busy > b.busy;
+              });
+    if (usage.size() > top_k)
+        usage.resize(top_k);
+    return usage;
+}
+
+double
+utilizationOf(const ResourcePool &pool, PicoSeconds makespan,
+              const std::string &name_fragment)
+{
+    if (makespan == 0)
+        return 0.0;
+    double total = 0.0;
+    std::size_t matches = 0;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        const Resource &res = pool[i];
+        if (res.name().find(name_fragment) == std::string::npos)
+            continue;
+        total += static_cast<double>(res.busyTime()) /
+                 static_cast<double>(makespan);
+        ++matches;
+    }
+    return matches == 0 ? 0.0 : total / static_cast<double>(matches);
+}
+
+void
+printUtilization(std::ostream &os, const ResourcePool &pool,
+                 PicoSeconds makespan, std::size_t top_k)
+{
+    for (const ResourceUsage &usage :
+         topBusyResources(pool, makespan, top_k)) {
+        os << "  " << std::left << std::setw(28) << usage.name
+           << std::right << std::fixed << std::setprecision(3)
+           << std::setw(12) << psToMs(usage.busy) << " ms  "
+           << std::setprecision(1) << std::setw(5)
+           << 100.0 * usage.utilization << "%  "
+           << usage.reservations << " reservations\n";
+    }
+}
+
+} // namespace lergan

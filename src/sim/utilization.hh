@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Resource-utilization reporting over a finished simulation run.
+ *
+ * Reads the FIFO resources' busy times and turns them into the
+ * utilization tables the examples and ablation benches print (which
+ * wires saturate under H-tree, how evenly tiles are loaded, ...).
+ */
+
+#ifndef LERGAN_SIM_UTILIZATION_HH
+#define LERGAN_SIM_UTILIZATION_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/resource.hh"
+
+namespace lergan {
+
+/** Utilization of one resource over a run. */
+struct ResourceUsage {
+    std::string name;
+    PicoSeconds busy = 0;
+    /** busy / makespan. */
+    double utilization = 0.0;
+    std::uint64_t reservations = 0;
+};
+
+/**
+ * The @p top_k busiest resources of @p pool, given the run's makespan.
+ * Results are sorted by busy time, descending.
+ */
+std::vector<ResourceUsage> topBusyResources(const ResourcePool &pool,
+                                            PicoSeconds makespan,
+                                            std::size_t top_k);
+
+/**
+ * Aggregate utilization of all resources whose name contains
+ * @p name_fragment (e.g. ".compute", "wire", "buslink").
+ *
+ * @return average utilization across matching resources (0 if none).
+ */
+double utilizationOf(const ResourcePool &pool, PicoSeconds makespan,
+                     const std::string &name_fragment);
+
+/** Print a "name busy util" table for the top @p top_k resources. */
+void printUtilization(std::ostream &os, const ResourcePool &pool,
+                      PicoSeconds makespan, std::size_t top_k);
+
+} // namespace lergan
+
+#endif // LERGAN_SIM_UTILIZATION_HH

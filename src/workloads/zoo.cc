@@ -1,0 +1,125 @@
+#include "workloads/zoo.hh"
+
+#include "common/logging.hh"
+#include "nn/parser.hh"
+
+namespace lergan {
+
+namespace {
+
+/** Table V, verbatim. */
+struct BenchmarkDef {
+    const char *name;
+    const char *generator;
+    const char *discriminator;
+    int itemSize;
+    int spatialDims;
+};
+
+const BenchmarkDef kTableV[] = {
+    {"DCGAN",
+     "100f-(1024t-512t-256t-128t)(5k2s)-t3",
+     "(3c-128c-256c-512c-1024c)(5k2s)-f1", 64, 2},
+    {"cGAN",
+     "100f-(256t-128t-64t)(4k2s)-t3",
+     "(3c-64c-128c-256c)(4k2s)-f1", 64, 2},
+    {"3D-GAN",
+     "100f-(512t-256t-128t)(4k2s)-t3",
+     "(1c-64c-128c-256c-512c)(4k2s)-f1", 64, 3},
+    {"ArtGAN-CIFAR-10",
+     "100f-1024t4k1s-512t4k2s-256t4k2s-128t4k2s-128t3k1s-t3",
+     "3c4k2s-128c3k1s-(128c-256c-512c-1024c)(4k2s)-f11", 32, 2},
+    {"GPGAN",
+     "100f-(512t-256t-128t-64t)(4k2s)-t3",
+     "(3c-64c-128c-256c-512c)(4k2s)-f1", 64, 2},
+    {"MAGAN-MNIST",
+     "50f-128t7k1s-64t4k2s-t1",
+     "784f-256f-256f-784f-f11", 28, 2},
+    {"DiscoGAN-4pairs",
+     "(3c-64c-128c-256c-512t-256t-128t-64t)(4k2s)-t3",
+     "(3c-64c-128c-256c-512c)(4k2s)-f1", 64, 2},
+    {"DiscoGAN-5pairs",
+     "(3c-64c-128c-256c-512c)(4k2s)-100f-(512t-256t-128t-64t)(4k2s)-t3",
+     "(3c-64c-128c-256c-512c)(4k2s)-f1", 64, 2},
+};
+
+} // namespace
+
+std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    for (const auto &def : kTableV)
+        names.emplace_back(def.name);
+    return names;
+}
+
+GanModel
+makeBenchmark(const std::string &name)
+{
+    for (const auto &def : kTableV) {
+        if (name == def.name) {
+            return parseGan(def.name, def.generator, def.discriminator,
+                            def.itemSize, def.spatialDims);
+        }
+    }
+    LERGAN_FATAL("unknown benchmark '", name, "'");
+}
+
+std::vector<GanModel>
+allBenchmarks()
+{
+    std::vector<GanModel> models;
+    for (const auto &def : kTableV)
+        models.push_back(makeBenchmark(def.name));
+    return models;
+}
+
+GanModel
+futureGanStride3()
+{
+    // Stride-3 T-CONVs triple the map per layer: 3 -> 9 -> 27 -> 81.
+    return parseGan("FutureGAN-s3",
+                    "100f-(512t-256t-128t)(7k3s)-t3",
+                    "(3c-128c-256c-512c)(7k3s)-f1", 81, 2);
+}
+
+GanModel
+futureGanStride2Control()
+{
+    // Same depth and kernel but the usual stride 2 (map 8 -> 64),
+    // giving the ablation a like-for-like comparison point.
+    return parseGan("FutureGAN-s2",
+                    "100f-(512t-256t-128t)(7k2s)-t3",
+                    "(3c-128c-256c-512c)(7k2s)-f1", 64, 2);
+}
+
+GanModel
+dcganScaled(int item_size)
+{
+    LERGAN_ASSERT(item_size >= 8 && (item_size & (item_size - 1)) == 0,
+                  "dcganScaled: item size must be a power of two >= 8");
+    // Channel ladder: widest next to the 4x4 seed, halving outward.
+    int stages = 0;
+    for (int s = 4; s < item_size; s *= 2)
+        ++stages;
+    std::string gen = "100f";
+    std::string disc;
+    int channels = 64 << (stages - 1);
+    for (int s = 0; s < stages; ++s) {
+        gen += "-" + std::to_string(channels) + "t5k2s";
+        channels /= 2;
+    }
+    gen += "-t3";
+    disc = "3c";
+    channels = 64;
+    for (int s = 1; s < stages; ++s) {
+        disc += "-" + std::to_string(channels) + "c";
+        channels *= 2;
+    }
+    disc = "(" + disc + "-" + std::to_string(channels) + "c)(5k2s)-f1";
+    return parseGan("DCGAN-" + std::to_string(item_size), gen, disc,
+                    item_size, 2);
+}
+
+} // namespace lergan

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The eight GAN benchmarks of the paper's Table V.
+ */
+
+#ifndef LERGAN_WORKLOADS_ZOO_HH
+#define LERGAN_WORKLOADS_ZOO_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/model.hh"
+
+namespace lergan {
+
+/** Names of all Table V benchmarks, in table order. */
+std::vector<std::string> benchmarkNames();
+
+/**
+ * Build one benchmark by name ("DCGAN", "cGAN", "3D-GAN",
+ * "ArtGAN-CIFAR-10", "GPGAN", "MAGAN-MNIST", "DiscoGAN-4pairs",
+ * "DiscoGAN-5pairs"). Fatal on unknown names.
+ */
+GanModel makeBenchmark(const std::string &name);
+
+/** All eight benchmarks, in table order. */
+std::vector<GanModel> allBenchmarks();
+
+/**
+ * A synthetic stride-3 GAN ("future GANs with larger stride (e.g.
+ * stride of 3)", Sec. IV-A). Each transposed convolution inserts two
+ * zeros between elements, so zero ratios are even more extreme than in
+ * the Table V networks; bench/ablation_stride3 uses it to show ZFDR
+ * holds up beyond stride 2.
+ */
+GanModel futureGanStride3();
+
+/** The stride-2 control with the same depth/kernel for the ablation. */
+GanModel futureGanStride2Control();
+
+/**
+ * DCGAN-shaped generator/discriminator scaled to @p item_size (32, 64
+ * or 128): one 5k2s (de)conv stage per factor of two above the 4x4
+ * seed. Used by the item-size scaling ablation.
+ */
+GanModel dcganScaled(int item_size);
+
+/** The paper's training minibatch size (Sec. VI-C). */
+constexpr int kBatchSize = 64;
+
+} // namespace lergan
+
+#endif // LERGAN_WORKLOADS_ZOO_HH

@@ -1,0 +1,113 @@
+#include "zfdr/cost.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+namespace {
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+std::uint64_t
+CrossbarGeom::crossbarsFor(std::uint64_t matrix_rows,
+                           std::uint64_t matrix_cols) const
+{
+    if (matrix_rows == 0 || matrix_cols == 0)
+        return 0;
+    return ceilDiv(matrix_rows, rows) *
+           ceilDiv(matrix_cols * cellsPerWeight(), cols);
+}
+
+OpCost
+zfdrOpCost(const LayerOp &op, const ReshapeAnalysis &analysis,
+           const ReplicaVector &replicas, const CrossbarGeom &geom)
+{
+    OpCost cost;
+    const std::uint64_t vpp = op.vectorsPerPosition;
+    cost.inputElems = op.inputData;
+    cost.outputElems = op.outputData;
+
+    for (const ReshapeMatrix &matrix : analysis.matrices) {
+        if (matrix.maskVolume == 0) {
+            // All-zero windows need no computation at all under ZFDR.
+            continue;
+        }
+        const ReshapeClass cls = matrix.cls(analysis.spatialDims);
+        const std::uint64_t copies = replicas.forClass(cls);
+        const std::uint64_t matrix_rows =
+            matrix.maskVolume * op.vecChannels;
+        const std::uint64_t crossbars =
+            geom.crossbarsFor(matrix_rows, op.outWidth);
+
+        const std::uint64_t issues = matrix.reuse * vpp;
+        cost.mmvs += issues;
+        cost.crossbarActivations += issues * crossbars;
+        cost.weightElems += matrix_rows * op.outWidth * copies;
+        cost.crossbarsUsed += crossbars * copies;
+        cost.waves = std::max(cost.waves, ceilDiv(issues, copies));
+    }
+    return cost;
+}
+
+OpCost
+normalOpCost(const LayerOp &op, std::uint64_t replicas,
+             const CrossbarGeom &geom)
+{
+    LERGAN_ASSERT(replicas >= 1, "normalOpCost: replicas must be >= 1");
+    OpCost cost;
+    cost.inputElems = op.inputWithZeros;
+    cost.outputElems = op.outputData;
+
+    // The dense matrix stored in CArrays, zeros included.
+    std::uint64_t matrix_rows = 0;
+    std::uint64_t positions = 1;
+    switch (op.pattern) {
+      case OpPattern::DenseFc:
+      case OpPattern::OuterProductFc:
+        matrix_rows = op.denseRows;
+        positions = 1;
+        break;
+      case OpPattern::DenseConv:
+        matrix_rows = op.denseRows;
+        positions = ipow(op.positions, op.spatialDims);
+        break;
+      case OpPattern::SparseGridConv:
+        // Normal reshape keeps the dense kernel and scans every window.
+        matrix_rows = ipow(op.window, op.spatialDims) *
+                      static_cast<std::uint64_t>(op.vecChannels);
+        positions = ipow(op.positions, op.spatialDims);
+        break;
+      case OpPattern::SparseKernelConv: {
+        // The zero-inserted grad map is stored verbatim as the kernel.
+        const std::uint64_t extent =
+            static_cast<std::uint64_t>(op.window - 1) * op.stride + 1 +
+            op.rem;
+        matrix_rows = ipow(extent, op.spatialDims) *
+                      static_cast<std::uint64_t>(op.vecChannels);
+        positions = ipow(op.positions, op.spatialDims);
+        break;
+      }
+    }
+
+    const std::uint64_t vpp = op.vectorsPerPosition;
+    const std::uint64_t issues = positions * vpp;
+    const std::uint64_t crossbars =
+        geom.crossbarsFor(matrix_rows, op.outWidth);
+
+    cost.mmvs = issues;
+    cost.crossbarActivations = issues * crossbars;
+    cost.weightElems = matrix_rows * op.outWidth * replicas;
+    cost.crossbarsUsed = crossbars * replicas;
+    cost.waves = ceilDiv(issues, replicas);
+    return cost;
+}
+
+} // namespace lergan

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Per-op cost model: MMV waves, crossbar activations, storage and traffic.
+ *
+ * These costs are the interface between the shape analytics (nn, zfdr)
+ * and the hardware simulation (reram, core). They are per input item;
+ * the accelerator scales by batch and distributes over tiles.
+ */
+
+#ifndef LERGAN_ZFDR_COST_HH
+#define LERGAN_ZFDR_COST_HH
+
+#include <cstdint>
+
+#include "zfdr/replica.hh"
+#include "zfdr/reshape.hh"
+
+namespace lergan {
+
+/** Geometry of one ReRAM crossbar used as a compute array. */
+struct CrossbarGeom {
+    int rows = 128;      ///< wordlines
+    int cols = 128;      ///< bitlines
+    int cellBits = 4;    ///< bits per ReRAM cell (paper: 4)
+    int weightBits = 16; ///< operand precision (paper: 16)
+
+    /** Cells (columns) occupied by one weight. */
+    int cellsPerWeight() const { return weightBits / cellBits; }
+
+    /** Weight elements one crossbar holds. */
+    std::uint64_t
+    weightsPerCrossbar() const
+    {
+        return static_cast<std::uint64_t>(rows) *
+               (cols / cellsPerWeight());
+    }
+
+    /** Crossbars needed for a rows x cols weight matrix. */
+    std::uint64_t crossbarsFor(std::uint64_t matrix_rows,
+                               std::uint64_t matrix_cols) const;
+};
+
+/** Execution cost of one layer op on the PIM substrate, per item. */
+struct OpCost {
+    /** Sequential MMV waves (critical path of the op). */
+    std::uint64_t waves = 0;
+    /** Total MMV issues across all matrices. */
+    std::uint64_t mmvs = 0;
+    /** Crossbar activations (an MMV through k crossbars counts k). */
+    std::uint64_t crossbarActivations = 0;
+    /** Weight elements stored in CArrays, replicas included. */
+    std::uint64_t weightElems = 0;
+    /** Crossbars occupied by the stored weights. */
+    std::uint64_t crossbarsUsed = 0;
+    /** Input elements streamed in per item. */
+    std::uint64_t inputElems = 0;
+    /** Output elements produced per item. */
+    std::uint64_t outputElems = 0;
+};
+
+/**
+ * Cost of a sparse op under ZFDR with the given replica vector.
+ *
+ * Waves follow the paper's model: classes execute in parallel across
+ * their matrices; the op finishes when its most-reused matrix (scaled by
+ * duplication) has served all its positions.
+ */
+OpCost zfdrOpCost(const LayerOp &op, const ReshapeAnalysis &analysis,
+                  const ReplicaVector &replicas, const CrossbarGeom &geom);
+
+/**
+ * Cost of any op under normal reshaping (PRIME-style): one dense kernel
+ * matrix, every window position becomes an MMV, zeros are stored and fed.
+ *
+ * @param replicas whole-matrix duplication factor (Eq. 14 DataMapping).
+ */
+OpCost normalOpCost(const LayerOp &op, std::uint64_t replicas,
+                    const CrossbarGeom &geom);
+
+} // namespace lergan
+
+#endif // LERGAN_ZFDR_COST_HH

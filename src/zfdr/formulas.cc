@@ -1,0 +1,113 @@
+#include "zfdr/formulas.hh"
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+namespace {
+
+/** ceil(a / b) for non-negative a, positive b. */
+int
+ceilDiv(int a, int b)
+{
+    return a <= 0 ? 0 : (a + b - 1) / b;
+}
+
+/** n choose k for the tiny values used in class counting. */
+std::uint64_t
+choose(int n, int k)
+{
+    std::uint64_t result = 1;
+    for (int i = 0; i < k; ++i)
+        result = result * (n - i) / (i + 1);
+    return result;
+}
+
+/** Integer power. */
+std::uint64_t
+upow(std::uint64_t base, int exp)
+{
+    std::uint64_t r = 1;
+    for (int i = 0; i < exp; ++i)
+        r *= base;
+    return r;
+}
+
+/**
+ * Class counts from per-dimension edge/interior mask counts. A composed
+ * d-dimensional group is classified by how many of its dimensions use an
+ * interior mask: all d -> inside, exactly d-1 -> edge, fewer -> corner
+ * (the paper's corner case covers everything touching 2+ boundaries).
+ */
+ClassCounts
+compose(std::uint64_t edge_1d, std::uint64_t interior_1d, int dims)
+{
+    ClassCounts counts;
+    counts.inside = upow(interior_1d, dims);
+    counts.edge = choose(dims, dims - 1) * upow(interior_1d, dims - 1) *
+                  edge_1d;
+    std::uint64_t total = upow(edge_1d + interior_1d, dims);
+    counts.corner = total - counts.inside - counts.edge;
+    return counts;
+}
+
+} // namespace
+
+int
+loopLength(int input, int insert_stride, int pad, int rem)
+{
+    LERGAN_ASSERT(input > 0 && insert_stride > 0 && pad >= 0 && rem >= 0,
+                  "loopLength: bad arguments");
+    if (pad >= insert_stride - 1)
+        return input * insert_stride + (insert_stride - 1);
+    if (pad + rem >= insert_stride - 1)
+        return input * insert_stride;
+    return input * insert_stride - (insert_stride - 1);
+}
+
+int
+edgeR1(int pad, int insert_stride)
+{
+    return pad < insert_stride - 1 ? pad : pad - (insert_stride - 1);
+}
+
+int
+edgeR2(int pad, int rem, int insert_stride)
+{
+    return pad + rem >= insert_stride - 1 ? (pad + rem) - (insert_stride - 1)
+                                          : pad + rem;
+}
+
+int
+tconvEdge1d(int input, int insert_stride, int pad, int rem)
+{
+    const int grid = (input - 1) * insert_stride + 1 + rem + 2 * pad;
+    return grid - loopLength(input, insert_stride, pad, rem);
+}
+
+ClassCounts
+tconvClassCounts(int input, int insert_stride, int pad, int rem,
+                 int spatial_dims)
+{
+    const int edge_1d = tconvEdge1d(input, insert_stride, pad, rem);
+    LERGAN_ASSERT(edge_1d >= 0, "tconvClassCounts: negative edge count");
+    return compose(edge_1d, insert_stride, spatial_dims);
+}
+
+ClassCounts
+wconvClassCounts(int input, int pad, int out, int stride, int rem,
+                 int spatial_dims)
+{
+    (void)input;
+    (void)out;
+    const int edge_1d = ceilDiv(pad, stride) + ceilDiv(pad - rem, stride);
+    return compose(edge_1d, 1, spatial_dims);
+}
+
+int
+wconvInteriorReuse(int input, int out, int stride)
+{
+    return input - (out - 1) * stride;
+}
+
+} // namespace lergan

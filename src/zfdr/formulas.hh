@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The paper's closed-form ZFDR expressions (Sec. IV-A, Eq. 11-13).
+ *
+ * These are the formulas LerGAN's compiler uses to size the reshape
+ * classes without enumerating windows. The enumeration in zfdr/reshape.hh
+ * is the authoritative ground truth; unit tests check the closed forms
+ * against it on every benchmark layer.
+ *
+ * Erratum handled: the paper states the T-CONV edge count as
+ * "R1*S'*2 + R1*S'*2"; reproducing its own CONV1 total of 25 reshaped
+ * matrices requires R1*S'*2 + R2*S'*2, which we implement.
+ */
+
+#ifndef LERGAN_ZFDR_FORMULAS_HH
+#define LERGAN_ZFDR_FORMULAS_HH
+
+#include <cstdint>
+
+namespace lergan {
+
+/**
+ * Loop Length (Eq. 11): the period of the reshaped-weight reuse pattern
+ * along one dimension of a T-CONV.
+ *
+ * @param input         I, input side length.
+ * @param insert_stride S', converse stride.
+ * @param pad           P, forward padding (W - P' - 1).
+ * @param rem           R, remainder of Eq. 5.
+ */
+int loopLength(int input, int insert_stride, int pad, int rem);
+
+/** R1 (Eq. 12). */
+int edgeR1(int pad, int insert_stride);
+
+/** R2 (Eq. 13). */
+int edgeR2(int pad, int rem, int insert_stride);
+
+/** Number of distinct 1-D edge masks of a T-CONV: grid length - LL. */
+int tconvEdge1d(int input, int insert_stride, int pad, int rem);
+
+/** Distinct reshaped matrices per class of a d-dimensional T-CONV ZFDR. */
+struct ClassCounts {
+    std::uint64_t corner = 0; ///< Case 1: no interior dimension
+    std::uint64_t edge = 0;   ///< Case 2: all but one dimension interior
+    std::uint64_t inside = 0; ///< Case 3: all dimensions interior
+};
+
+/**
+ * T-CONV ZFDR class counts (paper Case 1-3 generalized to d dimensions):
+ * corner = E^d, inside = S'^d, edge = everything in between, where
+ * E = tconvEdge1d and the per-dimension interior class has S' masks.
+ */
+ClassCounts tconvClassCounts(int input, int insert_stride, int pad, int rem,
+                             int spatial_dims);
+
+/**
+ * W-CONV-S ZFDR class counts: per dimension there are
+ * ceil(P/S) + ceil((P-R)/S) edge masks and exactly one interior (full)
+ * mask, reused I - (O-1)S times (paper Case 1-3).
+ */
+ClassCounts wconvClassCounts(int input, int pad, int out, int stride,
+                             int rem, int spatial_dims);
+
+/** Interior reuse of a W-CONV-S along one dimension: I - (O-1)S. */
+int wconvInteriorReuse(int input, int out, int stride);
+
+} // namespace lergan
+
+#endif // LERGAN_ZFDR_FORMULAS_HH

@@ -1,0 +1,211 @@
+#include "zfdr/functional.hh"
+
+#include "common/logging.hh"
+#include "nn/conv_pattern.hh"
+
+namespace lergan {
+
+namespace {
+
+std::vector<int>
+cat(int head, const std::vector<int> &tail)
+{
+    std::vector<int> index{head};
+    index.insert(index.end(), tail.begin(), tail.end());
+    return index;
+}
+
+std::vector<int>
+cat2(int a, int b, const std::vector<int> &tail)
+{
+    std::vector<int> index{a, b};
+    index.insert(index.end(), tail.begin(), tail.end());
+    return index;
+}
+
+std::vector<int>
+spatial(int side, int dims)
+{
+    return std::vector<int>(dims, side);
+}
+
+/**
+ * Walk the d-fold product of the per-dimension masks at position @p pos:
+ * invokes @p fn with the window-offset tuple and the data element index
+ * tuple it maps to.
+ */
+void
+forEachMaskTuple(
+    const Pattern1D &pattern, int insert_stride, int pad_lo,
+    const std::vector<int> &pos,
+    const std::function<void(const std::vector<int> &offsets,
+                             const std::vector<int> &data)> &fn)
+{
+    const int dims = static_cast<int>(pos.size());
+    std::vector<const std::vector<int> *> masks(dims);
+    std::vector<int> extent(dims);
+    for (int d = 0; d < dims; ++d) {
+        masks[d] = &pattern.maskOf(pos[d]);
+        extent[d] = static_cast<int>(masks[d]->size());
+        if (extent[d] == 0)
+            return; // all-zero window: nothing to compute
+    }
+    std::vector<int> offsets(dims), data(dims);
+    forEachIndex(extent, [&](const std::vector<int> &sel) {
+        for (int d = 0; d < dims; ++d) {
+            offsets[d] = (*masks[d])[sel[d]];
+            data[d] = (pos[d] + offsets[d] - pad_lo) / insert_stride;
+        }
+        fn(offsets, data);
+    });
+}
+
+} // namespace
+
+Tensor
+tconvForwardZfdr(const Tensor &input, const Tensor &kernel,
+                 const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::TConv, "tconvForwardZfdr: ",
+                  layer.name, " is not a T-CONV");
+    const int pad_lo = layer.kernel - 1 - layer.pad;
+    const int pad_hi = layer.kernel - 1 - layer.padHi;
+    const Pattern1D pattern =
+        sparseGridPattern(layer.inSize, layer.stride, pad_lo, pad_hi,
+                          layer.rem, layer.kernel);
+    LERGAN_ASSERT(pattern.positions == layer.outSize,
+                  "tconvForwardZfdr: pattern/shape mismatch");
+
+    Tensor out(outputShape(layer));
+    forEachIndex(spatial(layer.outSize, layer.spatialDims),
+                 [&](const std::vector<int> &p) {
+        // One reshaped-matrix MMV per output position: gather the
+        // non-zero inputs, multiply by the mask-selected kernel entries.
+        forEachMaskTuple(pattern, layer.stride, pad_lo, p,
+                         [&](const std::vector<int> &w,
+                             const std::vector<int> &t) {
+            for (int oc = 0; oc < layer.outChannels; ++oc) {
+                std::int64_t acc = 0;
+                for (int ic = 0; ic < layer.inChannels; ++ic)
+                    acc += input.at(cat(ic, t)) *
+                           kernel.at(cat2(oc, ic, w));
+                out.at(cat(oc, p)) += acc;
+            }
+        });
+    });
+    return out;
+}
+
+Tensor
+convBackwardDataZfdr(const Tensor &grad_out, const Tensor &kernel,
+                     const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::Conv,
+                  "convBackwardDataZfdr: ", layer.name,
+                  " is not an S-CONV");
+    // The zero-inserted map is the output gradient; its grid uses the
+    // backprop padding W - 1 - P per side.
+    const int pad_lo = layer.kernel - 1 - layer.pad;
+    const int pad_hi = layer.kernel - 1 - layer.padHi;
+    const Pattern1D pattern =
+        sparseGridPattern(layer.outSize, layer.stride, pad_lo, pad_hi,
+                          layer.rem, layer.kernel);
+    LERGAN_ASSERT(pattern.positions == layer.inSize,
+                  "convBackwardDataZfdr: pattern/shape mismatch");
+
+    Tensor grad_in(inputShape(layer));
+    std::vector<int> flipped(layer.spatialDims);
+    forEachIndex(spatial(layer.inSize, layer.spatialDims),
+                 [&](const std::vector<int> &x) {
+        forEachMaskTuple(pattern, layer.stride, pad_lo, x,
+                         [&](const std::vector<int> &w,
+                             const std::vector<int> &q) {
+            // Backprop correlates with the flipped (transposed) kernel.
+            for (int d = 0; d < layer.spatialDims; ++d)
+                flipped[d] = layer.kernel - 1 - w[d];
+            for (int ic = 0; ic < layer.inChannels; ++ic) {
+                std::int64_t acc = 0;
+                for (int oc = 0; oc < layer.outChannels; ++oc)
+                    acc += grad_out.at(cat(oc, q)) *
+                           kernel.at(cat2(oc, ic, flipped));
+                grad_in.at(cat(ic, x)) += acc;
+            }
+        });
+    });
+    return grad_in;
+}
+
+Tensor
+convWeightGradZfdr(const Tensor &input, const Tensor &grad_out,
+                   const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::Conv, "convWeightGradZfdr: ",
+                  layer.name, " is not an S-CONV");
+    const Pattern1D pattern =
+        sparseKernelPattern(layer.inSize, layer.pad, layer.padHi,
+                            layer.outSize, layer.stride, layer.rem);
+    LERGAN_ASSERT(pattern.positions == layer.kernel,
+                  "convWeightGradZfdr: pattern/shape mismatch");
+
+    Tensor grad_kernel(kernelShape(layer));
+    const int dims = layer.spatialDims;
+    std::vector<int> x(dims);
+    forEachIndex(spatial(layer.kernel, dims),
+                 [&](const std::vector<int> &w) {
+        // The zero-free gradient taps selected by the masks of this
+        // kernel position form the reshaped "weight"; the gathered input
+        // elements are the MMV vector.
+        std::vector<const std::vector<int> *> masks(dims);
+        std::vector<int> extent(dims);
+        for (int d = 0; d < dims; ++d) {
+            masks[d] = &pattern.maskOf(w[d]);
+            extent[d] = static_cast<int>(masks[d]->size());
+        }
+        std::vector<int> q(dims);
+        forEachIndex(extent, [&](const std::vector<int> &sel) {
+            for (int d = 0; d < dims; ++d) {
+                q[d] = (*masks[d])[sel[d]];
+                x[d] = w[d] + q[d] * layer.stride - layer.pad;
+            }
+            for (int oc = 0; oc < layer.outChannels; ++oc)
+                for (int ic = 0; ic < layer.inChannels; ++ic)
+                    grad_kernel.at(cat2(oc, ic, w)) +=
+                        input.at(cat(ic, x)) * grad_out.at(cat(oc, q));
+        });
+    });
+    return grad_kernel;
+}
+
+Tensor
+tconvWeightGradZfdr(const Tensor &input, const Tensor &grad_out,
+                    const LayerSpec &layer)
+{
+    LERGAN_ASSERT(layer.kind == LayerKind::TConv,
+                  "tconvWeightGradZfdr: ", layer.name,
+                  " is not a T-CONV");
+    const int pad_lo = layer.kernel - 1 - layer.pad;
+    const int pad_hi = layer.kernel - 1 - layer.padHi;
+    // The window scanning the zero-inserted input is the dense gradient
+    // map (extent O per dimension); positions are the W^d kernel cells.
+    const Pattern1D pattern =
+        sparseGridPattern(layer.inSize, layer.stride, pad_lo, pad_hi,
+                          layer.rem, layer.outSize);
+    LERGAN_ASSERT(pattern.positions == layer.kernel,
+                  "tconvWeightGradZfdr: pattern/shape mismatch");
+
+    Tensor grad_kernel(kernelShape(layer));
+    forEachIndex(spatial(layer.kernel, layer.spatialDims),
+                 [&](const std::vector<int> &w) {
+        forEachMaskTuple(pattern, layer.stride, pad_lo, w,
+                         [&](const std::vector<int> &o,
+                             const std::vector<int> &t) {
+            for (int oc = 0; oc < layer.outChannels; ++oc)
+                for (int ic = 0; ic < layer.inChannels; ++ic)
+                    grad_kernel.at(cat2(oc, ic, w)) +=
+                        input.at(cat(ic, t)) * grad_out.at(cat(oc, o));
+        });
+    });
+    return grad_kernel;
+}
+
+} // namespace lergan

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Functional execution of the ZFDR reshaped-matrix formulation.
+ *
+ * Each routine computes its convolution exactly the way the hardware
+ * does under ZFDR: for every output position, the per-dimension masks
+ * (nn/conv_pattern.hh) select which kernel/operand entries form the
+ * reshaped matrix, the non-zero inputs are gathered into the MMV vector,
+ * and zeros are never touched. Bit-exact agreement with the direct
+ * references (nn/functional.hh) is what certifies the paper's central
+ * claim that ZFDR removes *only* zero-related work.
+ */
+
+#ifndef LERGAN_ZFDR_FUNCTIONAL_HH
+#define LERGAN_ZFDR_FUNCTIONAL_HH
+
+#include "nn/functional.hh"
+
+namespace lergan {
+
+/** T-CONV forward via reshaped kernel matrices (paper Fig. 10/11). */
+Tensor tconvForwardZfdr(const Tensor &input, const Tensor &kernel,
+                        const LayerSpec &layer);
+
+/**
+ * Error backprop through an S-CONV via ZFDR_T on the zero-inserted
+ * gradient map (the kernel enters transposed/flipped, as in Eq. 3).
+ */
+Tensor convBackwardDataZfdr(const Tensor &grad_out, const Tensor &kernel,
+                            const LayerSpec &layer);
+
+/**
+ * S-CONV weight gradient via ZFDR_WS: the zero-free gradient acts as
+ * the reshaped kernel scanning the padded input (paper Fig. 6).
+ */
+Tensor convWeightGradZfdr(const Tensor &input, const Tensor &grad_out,
+                          const LayerSpec &layer);
+
+/**
+ * T-CONV weight gradient via ZFDR_T on the zero-inserted input, scanned
+ * by the dense output-gradient map.
+ */
+Tensor tconvWeightGradZfdr(const Tensor &input, const Tensor &grad_out,
+                           const LayerSpec &layer);
+
+} // namespace lergan
+
+#endif // LERGAN_ZFDR_FUNCTIONAL_HH

@@ -1,0 +1,125 @@
+#include "zfdr/functional_gan.hh"
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+namespace {
+
+/** Kernel tensor shape for any layer kind. */
+std::vector<int>
+kernelShapeOf(const LayerSpec &layer)
+{
+    if (layer.kind == LayerKind::FullyConnected)
+        return {layer.outChannels, layer.inChannels};
+    return kernelShape(layer);
+}
+
+} // namespace
+
+FunctionalGan::FunctionalGan(const GanModel &model, Rng &rng)
+    : model_(model)
+{
+    for (const LayerSpec &layer : model_.generator)
+        genKernels_.push_back(
+            Tensor::random(kernelShapeOf(layer), rng, -3, 3));
+    for (const LayerSpec &layer : model_.discriminator)
+        discKernels_.push_back(
+            Tensor::random(kernelShapeOf(layer), rng, -3, 3));
+}
+
+const Tensor &
+FunctionalGan::kernel(NetRole role, std::size_t layer) const
+{
+    const auto &kernels =
+        role == NetRole::Generator ? genKernels_ : discKernels_;
+    LERGAN_ASSERT(layer < kernels.size(), "kernel index out of range");
+    return kernels[layer];
+}
+
+FunctionalTrace
+FunctionalGan::forward(NetRole role, const Tensor &input,
+                       bool use_zfdr) const
+{
+    const auto &net = model_.net(role);
+    FunctionalTrace trace;
+    trace.activations.push_back(input);
+    for (std::size_t l = 0; l < net.size(); ++l) {
+        const LayerSpec &layer = net[l];
+        const Tensor &k = kernel(role, l);
+        const Tensor &prev = trace.activations.back();
+        switch (layer.kind) {
+          case LayerKind::FullyConnected:
+            trace.activations.push_back(fcForwardRef(
+                prev.reshaped({layer.inChannels}), k, layer));
+            break;
+          case LayerKind::Conv:
+            trace.activations.push_back(convForwardRef(
+                prev.reshaped(inputShape(layer)), k, layer));
+            break;
+          case LayerKind::TConv: {
+            const Tensor in = prev.reshaped(inputShape(layer));
+            trace.activations.push_back(
+                use_zfdr ? tconvForwardZfdr(in, k, layer)
+                         : tconvForwardRef(in, k, layer));
+            break;
+          }
+        }
+    }
+    return trace;
+}
+
+void
+FunctionalGan::backward(NetRole role, FunctionalTrace &trace,
+                        const Tensor &grad_output, bool use_zfdr) const
+{
+    const auto &net = model_.net(role);
+    LERGAN_ASSERT(trace.activations.size() == net.size() + 1,
+                  "backward needs a full forward trace");
+    trace.inputGrads.assign(net.size(), Tensor{});
+    trace.weightGrads.assign(net.size(), Tensor{});
+
+    Tensor grad = grad_output;
+    for (std::size_t l = net.size(); l-- > 0;) {
+        const LayerSpec &layer = net[l];
+        const Tensor &k = kernel(role, l);
+        switch (layer.kind) {
+          case LayerKind::FullyConnected: {
+            const Tensor g = grad.reshaped({layer.outChannels});
+            const Tensor a =
+                trace.activations[l].reshaped({layer.inChannels});
+            trace.weightGrads[l] = fcWeightGradRef(a, g, layer);
+            trace.inputGrads[l] = fcBackwardDataRef(g, k, layer);
+            break;
+          }
+          case LayerKind::Conv: {
+            const Tensor g = grad.reshaped(outputShape(layer));
+            const Tensor a =
+                trace.activations[l].reshaped(inputShape(layer));
+            // Dw<- is a W-CONV-S; error transfer is a ZFDR_T pattern.
+            trace.weightGrads[l] =
+                use_zfdr ? convWeightGradZfdr(a, g, layer)
+                         : convWeightGradRef(a, g, layer);
+            trace.inputGrads[l] =
+                use_zfdr ? convBackwardDataZfdr(g, k, layer)
+                         : convBackwardDataRef(g, k, layer);
+            break;
+          }
+          case LayerKind::TConv: {
+            const Tensor g = grad.reshaped(outputShape(layer));
+            const Tensor a =
+                trace.activations[l].reshaped(inputShape(layer));
+            // Gw<- is a W-CONV-T; error transfer through a T-CONV is a
+            // dense S-CONV (no zeros to remove).
+            trace.weightGrads[l] =
+                use_zfdr ? tconvWeightGradZfdr(a, g, layer)
+                         : tconvWeightGradRef(a, g, layer);
+            trace.inputGrads[l] = tconvBackwardDataRef(g, k, layer);
+            break;
+          }
+        }
+        grad = trace.inputGrads[l];
+    }
+}
+
+} // namespace lergan

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Whole-GAN functional execution: forward and backward passes through
+ * every layer of a GanModel, with each sparse convolution optionally
+ * computed through its ZFDR reshaped-matrix path.
+ *
+ * Activations are linear (identity non-linearity) and integer-valued so
+ * traces compare bit-exactly; the point is the dataflow and the
+ * reshaping, not training dynamics. A trace run with ZFDR on must equal
+ * one with ZFDR off — the end-to-end version of the paper's central
+ * claim, covering the exact op sequencing the accelerator simulates.
+ */
+
+#ifndef LERGAN_ZFDR_FUNCTIONAL_GAN_HH
+#define LERGAN_ZFDR_FUNCTIONAL_GAN_HH
+
+#include "nn/model.hh"
+#include "zfdr/functional.hh"
+
+namespace lergan {
+
+/** All tensors one network pass produces. */
+struct FunctionalTrace {
+    /** activations[0] = the input; activations[l+1] = layer l's output. */
+    std::vector<Tensor> activations;
+    /** inputGrads[l] = gradient at layer l's input (backward pass). */
+    std::vector<Tensor> inputGrads;
+    /** weightGrads[l] = gradient of layer l's kernel. */
+    std::vector<Tensor> weightGrads;
+};
+
+/** One GAN with concrete integer weights, runnable both ways. */
+class FunctionalGan
+{
+  public:
+    /** Random small-integer weights for every layer of both nets. */
+    FunctionalGan(const GanModel &model, Rng &rng);
+
+    const GanModel &model() const { return model_; }
+
+    /** Kernel tensor of one layer. */
+    const Tensor &kernel(NetRole role, std::size_t layer) const;
+
+    /**
+     * Forward pass of one network.
+     *
+     * @param use_zfdr compute T-CONVs through the reshaped-matrix path.
+     * @return trace with activations filled.
+     */
+    FunctionalTrace forward(NetRole role, const Tensor &input,
+                            bool use_zfdr) const;
+
+    /**
+     * Backward pass: error transfer and weight gradients, consuming a
+     * forward trace and the gradient at the network output.
+     *
+     * @param use_zfdr compute the sparse backward ops via ZFDR.
+     */
+    void backward(NetRole role, FunctionalTrace &trace,
+                  const Tensor &grad_output, bool use_zfdr) const;
+
+  private:
+    GanModel model_;
+    std::vector<Tensor> genKernels_;
+    std::vector<Tensor> discKernels_;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_ZFDR_FUNCTIONAL_GAN_HH

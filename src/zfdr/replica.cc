@@ -1,0 +1,197 @@
+#include "zfdr/replica.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "zfdr/formulas.hh"
+
+namespace lergan {
+
+const char *
+replicaDegreeName(ReplicaDegree degree)
+{
+    switch (degree) {
+      case ReplicaDegree::Low:    return "low";
+      case ReplicaDegree::Middle: return "middle";
+      case ReplicaDegree::High:   return "high";
+    }
+    return "?";
+}
+
+namespace {
+
+/** ceil division for 64-bit counts. */
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Compute time of a layer for a candidate replica vector: the slowest
+ * class dominates (the paper's "execution time of parallel tasks is
+ * decided by the longest task").
+ */
+double
+computeTimeNs(const LayerOp &op, const ReshapeAnalysis &analysis,
+              const ReplicaVector &replicas, const ReplicaCostParams &params)
+{
+    const std::uint64_t vpp = op.vectorsPerPosition;
+    std::uint64_t waves = 0;
+    for (ReshapeClass cls :
+         {ReshapeClass::Corner, ReshapeClass::Edge, ReshapeClass::Inside}) {
+        const ClassStats &stats = analysis.byClass(cls);
+        if (stats.matrices == 0)
+            continue;
+        waves = std::max(waves, ceilDiv(stats.maxReuse * vpp,
+                                        replicas.forClass(cls)));
+    }
+    return static_cast<double>(waves) * params.mmvTimeNs;
+}
+
+/** Transfer time: hops needed to drain the layer's result tiles. */
+double
+transferTimeNs(const ReshapeAnalysis &analysis,
+               const ReplicaVector &replicas, const ReplicaCostParams &params)
+{
+    const std::uint64_t elems =
+        analysis.corner.weightElems * replicas.corner +
+        analysis.edge.weightElems * replicas.edge +
+        analysis.inside.weightElems * replicas.inside;
+    const std::uint64_t tiles =
+        std::max<std::uint64_t>(1, ceilDiv(elems, params.carrayElemsPerTile));
+    return static_cast<double>(tiles - 1) * params.hopTimeNs;
+}
+
+} // namespace
+
+ReplicaVector
+chooseReplicas(const LayerOp &op, const ReshapeAnalysis &analysis,
+               ReplicaDegree degree, const ReplicaCostParams &params)
+{
+    const std::uint64_t vpp = op.vectorsPerPosition;
+
+    // Weight-gradient ops write their operand into the crossbars per
+    // item, so every extra replica costs write time; balance writes
+    // against the MMV waves saved instead of applying Table III.
+    const bool per_item_write = op.phase == Phase::DBwdWeight ||
+                                op.phase == Phase::GBwdWeight;
+    if (per_item_write) {
+        const std::uint64_t issues =
+            std::max<std::uint64_t>(1, analysis.inside.maxReuse * vpp);
+        const std::uint64_t base_elems = std::max<std::uint64_t>(
+            1, analysis.totalWeightElems());
+        std::uint64_t best_r = 1;
+        double best_t = -1.0;
+        for (std::uint64_t r = 1; r <= issues; r = r * 2) {
+            const double t =
+                params.writeNsPerElem *
+                    static_cast<double>(base_elems * r) +
+                params.mmvTimeNs *
+                    static_cast<double>(ceilDiv(issues, r));
+            if (best_t < 0 || t < best_t) {
+                best_t = t;
+                best_r = r;
+            }
+        }
+        std::uint64_t chosen = 1;
+        switch (degree) {
+          case ReplicaDegree::Low:
+            chosen = 1;
+            break;
+          case ReplicaDegree::Middle:
+            chosen = std::max<std::uint64_t>(1, best_r / 2);
+            break;
+          case ReplicaDegree::High:
+            chosen = best_r;
+            break;
+        }
+        // Every class serves vpp vectors per position, so every class
+        // needs the duplication (capped by its own workload).
+        ReplicaVector replicas;
+        replicas.corner = std::min(
+            chosen, std::max<std::uint64_t>(
+                        1, analysis.corner.maxReuse * vpp));
+        replicas.edge = std::min(
+            chosen,
+            std::max<std::uint64_t>(1, analysis.edge.maxReuse * vpp));
+        replicas.inside = std::min(
+            chosen,
+            std::max<std::uint64_t>(1, analysis.inside.maxReuse * vpp));
+        return replicas;
+    }
+
+    // No point replicating a matrix beyond its own workload.
+    const std::uint64_t edge_cap =
+        std::max<std::uint64_t>(1, analysis.edge.maxReuse * vpp);
+    const std::uint64_t inside_cap =
+        std::max<std::uint64_t>(1, analysis.inside.maxReuse * vpp);
+
+    // The loop length bounds how far inside duplication outruns edge
+    // duplication (paper: replica_i_max = LL * replica_e_max).
+    std::uint64_t ll = 1;
+    if (op.pattern == OpPattern::SparseGridConv) {
+        // For asymmetric padding the leading pad is used; LL only steers
+        // the duplication heuristic.
+        ll = static_cast<std::uint64_t>(
+            loopLength(op.data, op.stride, op.padLo, op.rem));
+    } else {
+        ll = std::max<std::uint64_t>(
+            1, wconvInteriorReuse(op.data, op.window, op.stride));
+    }
+
+    // Find e_max: the largest edge duplication whose matching inside
+    // duplication keeps transfers no slower than compute.
+    std::uint64_t e_max = 1;
+    for (std::uint64_t r_e = 1; r_e <= edge_cap; ++r_e) {
+        ReplicaVector candidate;
+        candidate.corner = 1;
+        candidate.edge = r_e;
+        candidate.inside = std::min(inside_cap, ll * r_e);
+        const double t_c = computeTimeNs(op, analysis, candidate, params);
+        const double t_t = transferTimeNs(analysis, candidate, params);
+        if (t_t > t_c && r_e > 1)
+            break;
+        e_max = r_e;
+        // Once compute is a single wave, more duplication cannot help.
+        if (t_c <= params.mmvTimeNs)
+            break;
+    }
+    const std::uint64_t i_max = std::min(inside_cap, ll * e_max);
+
+    ReplicaVector replicas;
+    replicas.corner = 1;
+    switch (degree) {
+      case ReplicaDegree::Low:
+        replicas.edge = 1;
+        replicas.inside = std::min(inside_cap, e_max);
+        break;
+      case ReplicaDegree::Middle:
+        replicas.edge = std::min(edge_cap, e_max);
+        replicas.inside = std::min(inside_cap, e_max);
+        break;
+      case ReplicaDegree::High:
+        replicas.edge = std::min(edge_cap, e_max);
+        replicas.inside = i_max;
+        break;
+    }
+    return replicas;
+}
+
+std::uint64_t
+denseReplicas(ReplicaDegree degree, std::uint64_t zfdr_elems,
+              std::uint64_t base_elems)
+{
+    LERGAN_ASSERT(base_elems > 0, "denseReplicas: empty layer");
+    switch (degree) {
+      case ReplicaDegree::Low:
+        return 1;
+      case ReplicaDegree::Middle:
+        return std::max<std::uint64_t>(1, zfdr_elems / (2 * base_elems));
+      case ReplicaDegree::High:
+        return std::max<std::uint64_t>(1, zfdr_elems / base_elems);
+    }
+    return 1;
+}
+
+} // namespace lergan

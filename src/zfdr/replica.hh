@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Replica (duplication) policy for reshaped weights (paper Sec. V,
+ * Table III and Eq. 14).
+ *
+ * Because InsideReshape matrices are reused far more than Edge/Corner
+ * ones, compute time is dominated by the inside class; duplicating
+ * inside (and edge) matrices trades CArray space for parallelism. The
+ * paper exposes three programmer-facing degrees:
+ *
+ *   low    : replicas = (corner 1, edge 1,     inside e_max)
+ *   middle : replicas = (corner 1, edge e_max, inside e_max)
+ *   high   : replicas = (corner 1, edge e_max, inside i_max)
+ *
+ * where e_max is the largest duplication for which inter-tile transfer
+ * time does not exceed compute time, and i_max = LL * e_max.
+ */
+
+#ifndef LERGAN_ZFDR_REPLICA_HH
+#define LERGAN_ZFDR_REPLICA_HH
+
+#include <cstdint>
+
+#include "zfdr/reshape.hh"
+
+namespace lergan {
+
+/** Programmer-selected duplication degree (paper Sec. V "Program"). */
+enum class ReplicaDegree { Low, Middle, High };
+
+/** @return printable degree name. */
+const char *replicaDegreeName(ReplicaDegree degree);
+
+/** Copies per matrix in each reshape class. */
+struct ReplicaVector {
+    std::uint64_t corner = 1;
+    std::uint64_t edge = 1;
+    std::uint64_t inside = 1;
+
+    std::uint64_t
+    forClass(ReshapeClass cls) const
+    {
+        switch (cls) {
+          case ReshapeClass::Corner: return corner;
+          case ReshapeClass::Edge:   return edge;
+          case ReshapeClass::Inside: return inside;
+        }
+        return 1;
+    }
+};
+
+/** Timing/space inputs to the e_max computation (paper Sec. V). */
+struct ReplicaCostParams {
+    /** t_m: one MMV wave, in nanoseconds. */
+    double mmvTimeNs = 50.0;
+    /** t_t: one neighbor-tile hop, in nanoseconds. */
+    double hopTimeNs = 2.9;
+    /** Weight elements one tile's CArray can hold. */
+    std::uint64_t carrayElemsPerTile = 1u << 20;
+    /**
+     * Amortized crossbar write time per element. Weight-gradient ops
+     * (Dw<-, Gw<-) program their per-item gradient operand into the
+     * crossbars before computing, so duplication also multiplies write
+     * time; their replica choice balances both.
+     */
+    double writeNsPerElem = 0.01;
+};
+
+/**
+ * Choose the replica vector for one sparse op.
+ *
+ * Implements the paper's constraint t_t_total <= t_c_total: duplication
+ * stops growing once the layer spans so many tiles that shipping results
+ * to the next layer would dominate the (shrinking) compute time.
+ */
+ReplicaVector chooseReplicas(const LayerOp &op,
+                             const ReshapeAnalysis &analysis,
+                             ReplicaDegree degree,
+                             const ReplicaCostParams &params);
+
+/**
+ * Duplication count for dense ops mapped with the normal DataMapping
+ * scheme (Eq. 14).
+ *
+ * @param degree     programmer-selected degree.
+ * @param zfdr_elems s_zf: weight elements of the ZFDR-expanded mapping
+ *                   this dense op shares bandwidth with.
+ * @param base_elems s_n: weight elements before duplication.
+ */
+std::uint64_t denseReplicas(ReplicaDegree degree, std::uint64_t zfdr_elems,
+                            std::uint64_t base_elems);
+
+} // namespace lergan
+
+#endif // LERGAN_ZFDR_REPLICA_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the CArray crossbar allocator and its compiler integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/compiler.hh"
+#include "reram/allocator.hh"
+#include "workloads/zoo.hh"
+
+namespace lergan {
+namespace {
+
+TEST(Allocator, SpreadsAcrossTilesInChunks)
+{
+    CArrayAllocator alloc(1, 4, 100);
+    const Allocation a = alloc.allocate(0, 30, 10, "op");
+    EXPECT_EQ(a.reserved(), 30u);
+    EXPECT_EQ(a.oversubscribed, 0u);
+    EXPECT_EQ(a.tiles().size(), 3u); // 10 per tile
+    EXPECT_EQ(alloc.usedInTile(0, 0), 10u);
+    EXPECT_EQ(alloc.usedInTile(0, 1), 10u);
+    EXPECT_EQ(alloc.usedInTile(0, 2), 10u);
+}
+
+TEST(Allocator, RoundRobinContinuesFromCursor)
+{
+    CArrayAllocator alloc(1, 4, 100);
+    alloc.allocate(0, 20, 10, "first"); // tiles 0,1
+    const Allocation b = alloc.allocate(0, 10, 10, "second");
+    // The cursor moved past the first allocation's tiles.
+    EXPECT_NE(b.tiles().front(), 0);
+}
+
+TEST(Allocator, SecondPassFillsBeyondChunks)
+{
+    // One tile bank: a chunked request larger than the chunk still fits.
+    CArrayAllocator alloc(1, 2, 100);
+    const Allocation a = alloc.allocate(0, 150, 10, "big");
+    EXPECT_EQ(a.reserved(), 150u);
+    EXPECT_EQ(a.oversubscribed, 0u);
+    EXPECT_EQ(alloc.usedInTile(0, 0) + alloc.usedInTile(0, 1), 150u);
+}
+
+TEST(Allocator, OversubscriptionIsRecorded)
+{
+    CArrayAllocator alloc(2, 2, 50);
+    const Allocation a = alloc.allocate(0, 130, 100, "huge");
+    EXPECT_EQ(a.reserved(), 100u);
+    EXPECT_EQ(a.oversubscribed, 30u);
+    EXPECT_EQ(alloc.totalOversubscribed(), 30u);
+    EXPECT_EQ(alloc.freeInBank(0), 0u);
+    // The other bank is untouched.
+    EXPECT_EQ(alloc.freeInBank(1), 100u);
+}
+
+TEST(Allocator, FullBankStillYieldsATilePin)
+{
+    CArrayAllocator alloc(1, 2, 10);
+    alloc.allocate(0, 20, 10, "fill");
+    const Allocation overflow = alloc.allocate(0, 5, 10, "late");
+    EXPECT_EQ(overflow.reserved(), 0u);
+    EXPECT_EQ(overflow.oversubscribed, 5u);
+    ASSERT_FALSE(overflow.tiles().empty());
+}
+
+TEST(Allocator, MapPrints)
+{
+    CArrayAllocator alloc(1, 2, 10);
+    alloc.allocate(0, 5, 10, "op");
+    std::ostringstream oss;
+    alloc.printMap(oss);
+    EXPECT_NE(oss.str().find("bank 0"), std::string::npos);
+    EXPECT_NE(oss.str().find("free 15"), std::string::npos);
+}
+
+TEST(AllocatorCompiler, UsageAccountingMatchesCosts)
+{
+    const GanModel model = makeBenchmark("cGAN");
+    const CompiledGan compiled =
+        compileGan(model, AcceleratorConfig::lerGan(ReplicaDegree::Low));
+    std::uint64_t placed = 0;
+    for (const auto &bank : compiled.bankUsage)
+        for (std::uint64_t used : bank)
+            placed += used;
+    EXPECT_EQ(placed + compiled.oversubscribedCrossbars,
+              compiled.crossbarsUsed);
+    for (const CompiledPhase &phase : compiled.phases) {
+        for (const MappedOp &op : phase.ops) {
+            EXPECT_EQ(op.allocation.reserved() +
+                          op.allocation.oversubscribed,
+                      std::max<std::uint64_t>(1, op.cost.crossbarsUsed))
+                << op.op.label;
+            // Every range stays inside its bank's tiles.
+            for (const CrossbarRange &range : op.allocation.ranges) {
+                EXPECT_EQ(range.bank, op.bank);
+                EXPECT_GE(range.tile, 0);
+                EXPECT_LT(range.tile, 16);
+            }
+        }
+    }
+}
+
+TEST(AllocatorCompiler, SmallGanFitsWithoutOversubscription)
+{
+    const CompiledGan compiled =
+        compileGan(makeBenchmark("MAGAN-MNIST"),
+                   AcceleratorConfig::lerGan(ReplicaDegree::Low));
+    EXPECT_EQ(compiled.oversubscribedCrossbars, 0u);
+}
+
+TEST(AllocatorCompiler, VolumetricGanOversubscribes)
+{
+    // 3D-GAN's high-duplication mapping exceeds the 6-bank machine;
+    // the allocator must say so rather than pretend.
+    const CompiledGan compiled =
+        compileGan(makeBenchmark("3D-GAN"),
+                   AcceleratorConfig::lerGan(ReplicaDegree::High));
+    EXPECT_GT(compiled.oversubscribedCrossbars, 0u);
+}
+
+TEST(AllocatorCompiler, MemoryMapPrints)
+{
+    const CompiledGan compiled =
+        compileGan(makeBenchmark("DCGAN"),
+                   AcceleratorConfig::lerGan(ReplicaDegree::Middle));
+    std::ostringstream oss;
+    compiled.printMemoryMap(oss);
+    EXPECT_NE(oss.str().find("bank 0"), std::string::npos);
+    EXPECT_NE(oss.str().find("bank 5"), std::string::npos);
+}
+
+TEST(AllocatorDeath, BadBankPanics)
+{
+    CArrayAllocator alloc(2, 2, 10);
+    EXPECT_DEATH(alloc.allocate(5, 1, 1, "x"), "bad bank");
+    EXPECT_DEATH(alloc.freeInBank(-1), "bad bank");
+}
+
+} // namespace
+} // namespace lergan

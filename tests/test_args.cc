@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for the command-line argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/args.hh"
+
+namespace lergan {
+namespace {
+
+/** Build argv from a list of literals. */
+struct Argv {
+    explicit Argv(std::vector<std::string> args) : storage(std::move(args))
+    {
+        for (auto &s : storage)
+            pointers.push_back(s.data());
+    }
+    int argc() const { return static_cast<int>(pointers.size()); }
+    char **argv() { return pointers.data(); }
+
+    std::vector<std::string> storage;
+    std::vector<char *> pointers;
+};
+
+TEST(Args, DefaultsApply)
+{
+    ArgParser parser;
+    parser.addOption("batch", "batch size", "64");
+    Argv argv({"prog"});
+    parser.parse(argv.argc(), argv.argv(), "test");
+    EXPECT_FALSE(parser.given("batch"));
+    EXPECT_EQ(parser.getInt("batch"), 64);
+}
+
+TEST(Args, SpaceSeparatedValue)
+{
+    ArgParser parser;
+    parser.addOption("batch", "batch size", "64");
+    Argv argv({"prog", "--batch", "32"});
+    parser.parse(argv.argc(), argv.argv(), "test");
+    EXPECT_TRUE(parser.given("batch"));
+    EXPECT_EQ(parser.getInt("batch"), 32);
+}
+
+TEST(Args, EqualsSeparatedValue)
+{
+    ArgParser parser;
+    parser.addOption("name", "a name", "x");
+    Argv argv({"prog", "--name=hello"});
+    parser.parse(argv.argc(), argv.argv(), "test");
+    EXPECT_EQ(parser.get("name"), "hello");
+}
+
+TEST(Args, Flags)
+{
+    ArgParser parser;
+    parser.addOption("verbose", "chatty output", "", true);
+    Argv argv({"prog", "--verbose"});
+    parser.parse(argv.argc(), argv.argv(), "test");
+    EXPECT_TRUE(parser.getFlag("verbose"));
+
+    ArgParser bare;
+    bare.addOption("verbose", "chatty output", "", true);
+    Argv none({"prog"});
+    bare.parse(none.argc(), none.argv(), "test");
+    EXPECT_FALSE(bare.getFlag("verbose"));
+}
+
+TEST(Args, PositionalCollected)
+{
+    ArgParser parser;
+    parser.addOption("k", "key", "v");
+    Argv argv({"prog", "one", "--k", "x", "two"});
+    parser.parse(argv.argc(), argv.argv(), "test");
+    EXPECT_EQ(parser.positional(),
+              (std::vector<std::string>{"one", "two"}));
+}
+
+TEST(Args, DoubleParsing)
+{
+    ArgParser parser;
+    parser.addOption("scale", "a factor", "1.5");
+    Argv argv({"prog", "--scale", "2.25"});
+    parser.parse(argv.argc(), argv.argv(), "test");
+    EXPECT_DOUBLE_EQ(parser.getDouble("scale"), 2.25);
+}
+
+TEST(Args, UsageListsOptions)
+{
+    ArgParser parser;
+    parser.addOption("batch", "batch size", "64");
+    EXPECT_NE(parser.usage("doc").find("--batch"), std::string::npos);
+    EXPECT_NE(parser.usage("doc").find("batch size"), std::string::npos);
+}
+
+TEST(ArgsDeath, UnknownOptionIsFatal)
+{
+    ArgParser parser;
+    parser.addOption("known", "", "x");
+    Argv argv({"prog", "--unknown"});
+    EXPECT_EXIT(parser.parse(argv.argc(), argv.argv(), "test"),
+                testing::ExitedWithCode(1), "");
+}
+
+TEST(ArgsDeath, MissingValueIsFatal)
+{
+    ArgParser parser;
+    parser.addOption("k", "", "x");
+    Argv argv({"prog", "--k"});
+    EXPECT_EXIT(parser.parse(argv.argc(), argv.argv(), "test"),
+                testing::ExitedWithCode(1), "");
+}
+
+TEST(ArgsDeath, MalformedIntIsFatal)
+{
+    ArgParser parser;
+    parser.addOption("n", "", "5");
+    Argv argv({"prog", "--n", "5x"});
+    parser.parse(argv.argc(), argv.argv(), "test");
+    EXPECT_EXIT(parser.getInt("n"), testing::ExitedWithCode(1), "");
+}
+
+} // namespace
+} // namespace lergan

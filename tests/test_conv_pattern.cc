@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the 1-D zero-pattern enumeration, anchored on the paper's
+ * CONV1 (Sec. III-A / IV-A) and Fig. 6 worked examples, plus parameterized
+ * property sweeps over stride/kernel/padding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "nn/conv_pattern.hh"
+
+namespace lergan {
+namespace {
+
+/** CONV1 of the DCGAN generator: I=4, S'=2, forward pad P=2, R=1, W=5. */
+Pattern1D
+conv1Pattern()
+{
+    return sparseGridPattern(4, 2, 2, 1, 5);
+}
+
+TEST(SparseGrid, Conv1GridGeometry)
+{
+    const Pattern1D p = conv1Pattern();
+    // Fig. 4: 4 inputs + 3 inserted zeros + 1 trailing zero + 2x2 padding.
+    EXPECT_EQ(p.gridLength, 12);
+    EXPECT_EQ(p.positions, 8); // the 8x8 output of CONV1
+    EXPECT_EQ(p.dataCells, 4);
+}
+
+TEST(SparseGrid, Conv1DistinctMasks)
+{
+    const Pattern1D p = conv1Pattern();
+    // 5 distinct 1-D masks -> 25 reshaped matrices in 2D (paper: "we
+    // store 25 kinds of reshaped weight matrix in this case").
+    EXPECT_EQ(p.distinct(), 5u);
+    int interior = 0;
+    for (const auto &g : p.groups)
+        interior += g.interior;
+    EXPECT_EQ(interior, 2); // S' = 2 interior masks
+}
+
+TEST(SparseGrid, Conv1ReuseCounts)
+{
+    const Pattern1D p = conv1Pattern();
+    // Interior masks are reused 2 and 3 times -> 2D inside reuse
+    // t in {4, 6, 9}, matching the paper's Case 3 for CONV1.
+    std::multiset<int> interior_reuse;
+    std::multiset<int> edge_reuse;
+    for (const auto &g : p.groups) {
+        if (g.interior)
+            interior_reuse.insert(g.reuse);
+        else
+            edge_reuse.insert(g.reuse);
+    }
+    EXPECT_EQ(interior_reuse, (std::multiset<int>{2, 3}));
+    EXPECT_EQ(edge_reuse, (std::multiset<int>{1, 1, 1}));
+    EXPECT_EQ(p.maxInteriorReuse(), 3); // -> 9 MMV cycles in 2D
+}
+
+TEST(SparseGrid, Conv1UsefulTaps)
+{
+    const Pattern1D p = conv1Pattern();
+    // Sum over the 8 window positions of useful taps is 17; squared and
+    // multiplied by the 1024 input channels this is the paper's 295,936
+    // useful multiplications per kernel.
+    EXPECT_EQ(p.usefulTaps(), 17u);
+    EXPECT_EQ(p.totalTaps(), 40u); // 8 positions x 5 taps
+}
+
+TEST(SparseGrid, ReuseSumsToPositions)
+{
+    const Pattern1D p = conv1Pattern();
+    int total = 0;
+    for (const auto &g : p.groups)
+        total += g.reuse;
+    EXPECT_EQ(total, p.positions);
+}
+
+TEST(SparseGrid, StrideOneHasSingleInteriorMask)
+{
+    // S' = 1 inserts no zeros: away from padding, every window is fully
+    // dense, so exactly one interior mask exists.
+    const Pattern1D p = sparseGridPattern(8, 1, 2, 0, 5);
+    int interior = 0;
+    for (const auto &g : p.groups) {
+        if (g.interior) {
+            ++interior;
+            EXPECT_EQ(g.mask.size(), 5u);
+        }
+    }
+    EXPECT_EQ(interior, 1);
+}
+
+TEST(SparseGrid, NoPaddingNoRemainder)
+{
+    const Pattern1D p = sparseGridPattern(4, 2, 0, 0, 3);
+    EXPECT_EQ(p.gridLength, 7);
+    EXPECT_EQ(p.positions, 5);
+    int covered = 0;
+    for (const auto &g : p.groups)
+        covered += g.reuse;
+    EXPECT_EQ(covered, 5);
+}
+
+TEST(SparseKernel, Fig6WorkedExample)
+{
+    // Paper Fig. 6: I=8, P=2, O=4, S=2, R=1 -> nabla-weight is 5x5.
+    const Pattern1D p = sparseKernelPattern(8, 2, 4, 2, 1);
+    EXPECT_EQ(p.positions, 5); // W = 5
+    EXPECT_EQ(p.gridLength, 12);
+
+    // Interior (full) mask reused I - (O-1)S = 2 times per dimension.
+    int interior_reuse = 0;
+    for (const auto &g : p.groups)
+        if (g.interior)
+            interior_reuse += g.reuse;
+    EXPECT_EQ(interior_reuse, 2);
+}
+
+TEST(SparseKernel, InteriorMaskIsFull)
+{
+    const Pattern1D p = sparseKernelPattern(16, 1, 8, 2, 1);
+    for (const auto &g : p.groups) {
+        if (g.interior)
+            EXPECT_EQ(g.mask.size(), 8u);
+        else
+            EXPECT_LT(g.mask.size(), 8u);
+    }
+}
+
+TEST(SparseKernelDeath, KernelWiderThanData)
+{
+    EXPECT_DEATH(sparseKernelPattern(4, 0, 8, 2, 0), "extent");
+}
+
+/** Property sweep: (data, stride, pad, rem, window). */
+using GridCase = std::tuple<int, int, int, int, int>;
+
+class SparseGridProperty : public testing::TestWithParam<GridCase>
+{
+};
+
+TEST_P(SparseGridProperty, MasksPartitionPositions)
+{
+    auto [data, stride, pad, rem, window] = GetParam();
+    if (rem >= stride)
+        GTEST_SKIP() << "remainder must be below the stride";
+    const int grid = 2 * pad + (data - 1) * stride + 1 + rem;
+    if (grid < window)
+        GTEST_SKIP() << "window wider than grid";
+    const Pattern1D p = sparseGridPattern(data, stride, pad, rem, window);
+
+    // 1. Reuse counts partition the positions.
+    int covered = 0;
+    for (const auto &g : p.groups)
+        covered += g.reuse;
+    EXPECT_EQ(covered, p.positions);
+
+    // 2. Masks are distinct.
+    std::set<std::vector<int>> seen;
+    for (const auto &g : p.groups)
+        EXPECT_TRUE(seen.insert(g.mask).second);
+
+    // 3. Useful taps never exceed total taps, and every data cell in
+    //    range is matched by the direct recount below.
+    EXPECT_LE(p.usefulTaps(), p.totalTaps());
+    std::uint64_t direct = 0;
+    for (int j = 0; j < p.positions; ++j) {
+        for (int w = 0; w < window; ++w) {
+            const int x = j + w - pad;
+            if (x >= 0 && x % stride == 0 && x / stride < data)
+                ++direct;
+        }
+    }
+    EXPECT_EQ(p.usefulTaps(), direct);
+
+    // 4. At most `stride` interior masks exist.
+    int interior = 0;
+    for (const auto &g : p.groups)
+        interior += g.interior;
+    EXPECT_LE(interior, stride);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparseGridProperty,
+    testing::Combine(testing::Values(2, 4, 7, 16),  // data
+                     testing::Values(1, 2, 3),      // stride
+                     testing::Values(0, 1, 2, 3),   // pad
+                     testing::Values(0),            // rem (constrained below)
+                     testing::Values(3, 4, 5, 7))); // window
+
+// A second sweep exercising non-zero remainders (rem < stride).
+INSTANTIATE_TEST_SUITE_P(
+    SweepRemainder, SparseGridProperty,
+    testing::Combine(testing::Values(3, 5, 8), testing::Values(2, 3),
+                     testing::Values(0, 2), testing::Values(1),
+                     testing::Values(4, 5)));
+
+using KernelCase = std::tuple<int, int, int, int, int>;
+
+class SparseKernelProperty : public testing::TestWithParam<KernelCase>
+{
+};
+
+TEST_P(SparseKernelProperty, MasksPartitionPositions)
+{
+    auto [data, pad, taps, stride, rem] = GetParam();
+    if (rem >= stride)
+        GTEST_SKIP() << "remainder must be below the stride";
+    if ((taps - 1) * stride + 1 + rem > data + 2 * pad)
+        GTEST_SKIP() << "kernel extent exceeds data";
+    const Pattern1D p = sparseKernelPattern(data, pad, taps, stride, rem);
+
+    int covered = 0;
+    for (const auto &g : p.groups)
+        covered += g.reuse;
+    EXPECT_EQ(covered, p.positions);
+
+    // At most one interior (full-mask) group; its reuse must match a
+    // direct recount of positions where every tap hits data.
+    int direct_full = 0;
+    for (int j = 0; j < p.positions; ++j) {
+        bool full = true;
+        for (int k = 0; k < taps; ++k) {
+            const int x = j + k * stride;
+            if (x < pad || x >= pad + data)
+                full = false;
+        }
+        direct_full += full;
+    }
+    int interior_groups = 0;
+    for (const auto &g : p.groups) {
+        if (g.interior) {
+            ++interior_groups;
+            EXPECT_EQ(g.reuse, direct_full);
+        }
+    }
+    EXPECT_LE(interior_groups, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SparseKernelProperty,
+    testing::Combine(testing::Values(8, 16, 28),   // data
+                     testing::Values(0, 1, 2, 3),  // pad
+                     testing::Values(2, 4, 8),     // taps
+                     testing::Values(1, 2, 3),     // stride
+                     testing::Values(0, 1)));      // rem
+
+} // namespace
+} // namespace lergan

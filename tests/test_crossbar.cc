@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests certifying the bit-sliced, bit-serial crossbar datapath computes
+ * exact dot products (the fixed-point substrate beneath every MMV the
+ * timing model charges for).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "reram/crossbar.hh"
+
+namespace lergan {
+namespace {
+
+std::int64_t
+directDot(const std::vector<std::int32_t> &a,
+          const std::vector<std::int32_t> &b)
+{
+    std::int64_t sum = 0;
+    const std::size_t n = std::min(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i)
+        sum += static_cast<std::int64_t>(a[i]) * b[i];
+    return sum;
+}
+
+TEST(Crossbar, SlicingRoundTrips)
+{
+    ComputeCrossbar xbar;
+    xbar.program({0, 1, -1, 12345, -12345});
+    // Reassemble row 3's biased value from its cells.
+    std::uint32_t reassembled = 0;
+    for (int s = 0; s < xbar.spec().slices(); ++s)
+        reassembled = (reassembled << xbar.spec().cellBits) |
+                      static_cast<std::uint32_t>(xbar.cell(3, s));
+    EXPECT_EQ(static_cast<std::int32_t>(reassembled) - (1 << 15), 12345);
+}
+
+TEST(Crossbar, CellLevelsFitCellBits)
+{
+    ComputeCrossbar xbar;
+    xbar.program({32767, -32768, 4096, -1});
+    for (int r = 0; r < 4; ++r)
+        for (int s = 0; s < xbar.spec().slices(); ++s) {
+            EXPECT_GE(xbar.cell(r, s), 0);
+            EXPECT_LT(xbar.cell(r, s), 16);
+        }
+}
+
+TEST(Crossbar, ExactDotProductSmall)
+{
+    ComputeCrossbar xbar;
+    xbar.program({3, -2, 7});
+    EXPECT_EQ(xbar.multiply({1, 1, 1}), 8);
+    EXPECT_EQ(xbar.multiply({-1, 2, 0}), -7);
+    EXPECT_EQ(xbar.multiply({}), 0);
+}
+
+TEST(Crossbar, ExactAtPrecisionExtremes)
+{
+    ComputeCrossbar xbar;
+    const std::vector<std::int32_t> w{32767, -32768, 32767, -32768};
+    const std::vector<std::int32_t> x{32767, 32767, -32768, -32768};
+    xbar.program(w);
+    EXPECT_EQ(xbar.multiply(x), directDot(w, x));
+}
+
+TEST(Crossbar, RandomizedExactness)
+{
+    Rng rng(77);
+    ComputeCrossbar xbar;
+    for (int trial = 0; trial < 25; ++trial) {
+        const int n = 1 + static_cast<int>(rng.nextBounded(128));
+        std::vector<std::int32_t> w(n), x(n);
+        for (int i = 0; i < n; ++i) {
+            w[i] = static_cast<std::int32_t>(rng.nextBounded(65536)) -
+                   32768;
+            x[i] = static_cast<std::int32_t>(rng.nextBounded(65536)) -
+                   32768;
+        }
+        xbar.program(w);
+        EXPECT_EQ(xbar.multiply(x), directDot(w, x)) << "trial " << trial;
+    }
+}
+
+TEST(Crossbar, UnprogrammedRowsActAsZero)
+{
+    ComputeCrossbar xbar;
+    xbar.program({5});
+    // Rows 1.. hold zero weights: feeding them inputs changes nothing.
+    std::vector<std::int32_t> x(128, 1000);
+    x[0] = 2;
+    EXPECT_EQ(xbar.multiply(x), 10);
+}
+
+TEST(Crossbar, ActivationCountMatchesBitSerialDatapath)
+{
+    ComputeCrossbar xbar;
+    // 16 input bit-planes x 4 weight slices.
+    EXPECT_EQ(xbar.activationsPerMmv(), 64);
+}
+
+TEST(Crossbar, EightBitConfiguration)
+{
+    CrossbarSpec spec;
+    spec.weightBits = 8;
+    spec.inputBits = 8;
+    spec.cellBits = 4;
+    ComputeCrossbar xbar(spec);
+    const std::vector<std::int32_t> w{-128, 127, 64, -1};
+    const std::vector<std::int32_t> x{127, -128, 3, -3};
+    xbar.program(w);
+    EXPECT_EQ(xbar.multiply(x), directDot(w, x));
+    EXPECT_EQ(xbar.activationsPerMmv(), 16);
+}
+
+TEST(CrossbarDeath, OverflowingWeightPanics)
+{
+    ComputeCrossbar xbar;
+    EXPECT_DEATH(xbar.program({40000}), "does not fit");
+}
+
+TEST(CrossbarDeath, TooManyRowsPanics)
+{
+    ComputeCrossbar xbar;
+    EXPECT_DEATH(xbar.program(std::vector<std::int32_t>(129, 0)),
+                 "rows");
+}
+
+} // namespace
+} // namespace lergan

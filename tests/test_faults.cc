@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fault-injection tests: mappings route around failed tiles and the
+ * simulation degrades gracefully instead of using dead hardware.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/api.hh"
+#include "reram/allocator.hh"
+
+namespace lergan {
+namespace {
+
+TEST(Faults, AllocatorSkipsFailedTiles)
+{
+    CArrayAllocator alloc(1, 4, 100);
+    alloc.markFailed(0, 1);
+    alloc.markFailed(0, 2);
+    EXPECT_TRUE(alloc.isFailed(0, 1));
+    EXPECT_FALSE(alloc.isFailed(0, 0));
+    EXPECT_EQ(alloc.freeInBank(0), 200u);
+
+    const Allocation a = alloc.allocate(0, 150, 100, "op");
+    EXPECT_EQ(a.reserved(), 150u);
+    for (const CrossbarRange &range : a.ranges) {
+        EXPECT_NE(range.tile, 1);
+        EXPECT_NE(range.tile, 2);
+    }
+}
+
+TEST(Faults, AllFailedBankOversubscribesOntoPin)
+{
+    CArrayAllocator alloc(1, 2, 10);
+    alloc.markFailed(0, 0);
+    alloc.markFailed(0, 1);
+    const Allocation a = alloc.allocate(0, 5, 10, "op");
+    EXPECT_EQ(a.reserved(), 0u);
+    EXPECT_EQ(a.oversubscribed, 5u);
+    ASSERT_FALSE(a.tiles().empty());
+}
+
+TEST(Faults, CompilerAvoidsFailedTiles)
+{
+    AcceleratorConfig config = AcceleratorConfig::lerGan(ReplicaDegree::Low);
+    config.failedTiles = {{0, 3}, {3, 0}, {5, 7}};
+    const CompiledGan compiled =
+        compileGan(makeBenchmark("DCGAN"), config);
+    for (const auto &[bank, tile] : config.failedTiles)
+        EXPECT_EQ(compiled.bankUsage[bank][tile], 0u);
+    for (const CompiledPhase &phase : compiled.phases) {
+        for (const MappedOp &op : phase.ops) {
+            for (const CrossbarRange &range : op.allocation.ranges) {
+                if (range.count == 0)
+                    continue;
+                for (const auto &[bank, tile] : config.failedTiles) {
+                    EXPECT_FALSE(range.bank == bank && range.tile == tile)
+                        << op.op.label;
+                }
+            }
+        }
+    }
+}
+
+TEST(Faults, SimulationRunsWithFailedTiles)
+{
+    AcceleratorConfig healthy = AcceleratorConfig::lerGan(
+        ReplicaDegree::Low);
+    healthy.batchSize = 8;
+    AcceleratorConfig degraded = healthy;
+    // Kill a quarter of every bank.
+    for (int bank = 0; bank < 6; ++bank)
+        for (int tile = 0; tile < 4; ++tile)
+            degraded.failedTiles.emplace_back(bank, tile);
+
+    const GanModel model = makeBenchmark("cGAN");
+    const TrainingReport ok = simulateTraining(model, healthy);
+    const TrainingReport hurt = simulateTraining(model, degraded);
+    EXPECT_GT(hurt.iterationTime, 0u);
+    // Losing tiles can only slow things down (or tie).
+    EXPECT_GE(hurt.iterationTime, ok.iterationTime);
+}
+
+TEST(FaultsDeath, MarkingAnOccupiedTilePanics)
+{
+    CArrayAllocator alloc(1, 2, 10);
+    alloc.allocate(0, 5, 10, "op");
+    EXPECT_DEATH(alloc.markFailed(0, 0), "already holds");
+}
+
+} // namespace
+} // namespace lergan

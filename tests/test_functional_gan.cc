@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Whole-GAN functional tests: end-to-end ZFDR equivalence across a full
+ * forward+backward pass, adjoint identities for every layer kind, and
+ * consistency between the op lowering (nn/training.hh) and the actual
+ * tensor math.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/parser.hh"
+#include "nn/training.hh"
+#include "workloads/zoo.hh"
+#include "zfdr/functional_gan.hh"
+
+namespace lergan {
+namespace {
+
+/** A small mixed GAN: FC + T-CONVs generator, convs + FC discriminator. */
+GanModel
+miniGan()
+{
+    return parseGan("mini", "16f-(8t-4t)(5k2s)-t2",
+                    "(2c-4c)(4k2s)-f1", 16, 2);
+}
+
+TEST(FunctionalGan, ForwardTracesMatchWithAndWithoutZfdr)
+{
+    Rng rng(31);
+    const FunctionalGan gan(miniGan(), rng);
+    const Tensor noise = Tensor::random({16}, rng);
+    const FunctionalTrace plain =
+        gan.forward(NetRole::Generator, noise, false);
+    const FunctionalTrace zfdr =
+        gan.forward(NetRole::Generator, noise, true);
+    ASSERT_EQ(plain.activations.size(), zfdr.activations.size());
+    for (std::size_t l = 0; l < plain.activations.size(); ++l)
+        EXPECT_EQ(plain.activations[l], zfdr.activations[l]) << l;
+}
+
+TEST(FunctionalGan, FullGanPassMatchesEndToEnd)
+{
+    // Fake item: G(noise) feeds D; the loss gradient walks back through
+    // D and into G — exactly the paper's generator-training dataflow.
+    Rng rng(32);
+    const GanModel model = miniGan();
+    const FunctionalGan gan(model, rng);
+    const Tensor noise = Tensor::random({16}, rng);
+
+    auto run = [&](bool use_zfdr) {
+        FunctionalTrace g_trace =
+            gan.forward(NetRole::Generator, noise, use_zfdr);
+        const Tensor item = g_trace.activations.back();
+        FunctionalTrace d_trace = gan.forward(
+            NetRole::Discriminator,
+            item.reshaped(inputShape(model.discriminator.front())),
+            use_zfdr);
+        Tensor loss_grad(
+            {model.discriminator.back().outChannels});
+        for (std::size_t i = 0; i < loss_grad.size(); ++i)
+            loss_grad.flat(i) = 1;
+        gan.backward(NetRole::Discriminator, d_trace, loss_grad,
+                     use_zfdr);
+        gan.backward(NetRole::Generator, g_trace,
+                     d_trace.inputGrads.front().reshaped(
+                         outputShape(model.generator.back())),
+                     use_zfdr);
+        return std::pair<FunctionalTrace, FunctionalTrace>(
+            std::move(g_trace), std::move(d_trace));
+    };
+
+    const auto plain = run(false);
+    const auto zfdr = run(true);
+    for (std::size_t l = 0; l < plain.first.weightGrads.size(); ++l) {
+        EXPECT_EQ(plain.first.weightGrads[l], zfdr.first.weightGrads[l])
+            << "G layer " << l;
+        EXPECT_EQ(plain.first.inputGrads[l], zfdr.first.inputGrads[l])
+            << "G layer " << l;
+    }
+    for (std::size_t l = 0; l < plain.second.weightGrads.size(); ++l)
+        EXPECT_EQ(plain.second.weightGrads[l],
+                  zfdr.second.weightGrads[l])
+            << "D layer " << l;
+}
+
+TEST(FunctionalGan, BackwardOpsAreTrueAdjoints)
+{
+    // <F(x), y> == <x, F^T(y)> pins the backward-data ops as the exact
+    // adjoints of the forwards, for every layer kind in the model.
+    Rng rng(33);
+    const GanModel model = miniGan();
+    const FunctionalGan gan(model, rng);
+    for (const NetRole role : {NetRole::Generator,
+                               NetRole::Discriminator}) {
+        const auto &net = model.net(role);
+        for (std::size_t l = 0; l < net.size(); ++l) {
+            const LayerSpec &layer = net[l];
+            const Tensor &k = gan.kernel(role, l);
+            Rng local(100 + l);
+            if (layer.kind == LayerKind::FullyConnected) {
+                const Tensor x =
+                    Tensor::random({layer.inChannels}, local);
+                const Tensor y =
+                    Tensor::random({layer.outChannels}, local);
+                EXPECT_EQ(innerProduct(fcForwardRef(x, k, layer), y),
+                          innerProduct(x, fcBackwardDataRef(y, k, layer)))
+                    << layer.name;
+            } else if (layer.kind == LayerKind::Conv) {
+                const Tensor x = Tensor::random(inputShape(layer), local);
+                const Tensor y =
+                    Tensor::random(outputShape(layer), local);
+                EXPECT_EQ(
+                    innerProduct(convForwardRef(x, k, layer), y),
+                    innerProduct(x, convBackwardDataRef(y, k, layer)))
+                    << layer.name;
+                // Weight-grad adjoint: <F(x;K), y> == <K, dW(x, y)>.
+                EXPECT_EQ(innerProduct(convForwardRef(x, k, layer), y),
+                          innerProduct(k,
+                                       convWeightGradRef(x, y, layer)))
+                    << layer.name;
+            } else {
+                const Tensor x = Tensor::random(inputShape(layer), local);
+                const Tensor y =
+                    Tensor::random(outputShape(layer), local);
+                EXPECT_EQ(
+                    innerProduct(tconvForwardRef(x, k, layer), y),
+                    innerProduct(x, tconvBackwardDataRef(y, k, layer)))
+                    << layer.name;
+                EXPECT_EQ(innerProduct(tconvForwardRef(x, k, layer), y),
+                          innerProduct(k,
+                                       tconvWeightGradRef(x, y, layer)))
+                    << layer.name;
+            }
+        }
+    }
+}
+
+TEST(FunctionalGan, OpLoweringMatchesTensorSizes)
+{
+    // The accelerator's op records must describe exactly the tensors the
+    // functional layer moves: useful input/output element counts.
+    const GanModel model = miniGan();
+    for (const LayerOp &op : opsForPhase(model, Phase::GFwd)) {
+        const LayerSpec &layer = model.net(op.role)[op.layerIdx];
+        EXPECT_EQ(op.inputData, layer.inVolume()) << op.label;
+        EXPECT_EQ(op.outputData, layer.outVolume()) << op.label;
+    }
+    for (const LayerOp &op : opsForPhase(model, Phase::DBwdWeight)) {
+        const LayerSpec &layer = model.net(op.role)[op.layerIdx];
+        EXPECT_EQ(op.outputData, layer.numWeights()) << op.label;
+        EXPECT_EQ(op.inputData, layer.inVolume() + layer.outVolume())
+            << op.label;
+    }
+}
+
+TEST(FunctionalGan, FcRoundTripShapes)
+{
+    Rng rng(34);
+    const GanModel model = miniGan();
+    const FunctionalGan gan(model, rng);
+    const Tensor noise = Tensor::random({16}, rng);
+    const FunctionalTrace trace =
+        gan.forward(NetRole::Generator, noise, false);
+    // FC output volume equals the first T-CONV's input volume.
+    EXPECT_EQ(trace.activations[1].size(),
+              model.generator[1].inVolume());
+    // The generator emits an item of the declared size.
+    EXPECT_EQ(trace.activations.back().size(),
+              model.generator.back().outVolume());
+}
+
+} // namespace
+} // namespace lergan

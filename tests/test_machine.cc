@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for the Machine: hardware instantiation across connection
+ * flavors and CU-pair counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/machine.hh"
+
+namespace lergan {
+namespace {
+
+TEST(Machine, SixBanksWithTilesAndCpuFreePool)
+{
+    Machine machine(AcceleratorConfig::lerGan(ReplicaDegree::Low));
+    for (int bank = 0; bank < 6; ++bank) {
+        EXPECT_EQ(machine.bank(bank).tiles.size(), 16u);
+        EXPECT_EQ(machine.bank(bank).bankId, bank);
+    }
+    // Every tile has a compute resource with a stable name.
+    const std::size_t res = machine.tileComputeRes(3, 7);
+    EXPECT_EQ(machine.pool()[res].name(), "b3.t7.compute");
+}
+
+TEST(Machine, HTreeMachineHasNoAddedWires)
+{
+    Machine machine(AcceleratorConfig::prime());
+    for (std::size_t i = 0; i < machine.topo().numLinks(); ++i) {
+        const LinkKind kind = machine.topo().link(i).kind;
+        EXPECT_TRUE(kind == LinkKind::HTree || kind == LinkKind::Bus);
+    }
+}
+
+TEST(Machine, ThreeDMachineHasBypasses)
+{
+    Machine machine(AcceleratorConfig::lerGan(ReplicaDegree::Low));
+    int bypasses = 0;
+    for (std::size_t i = 0; i < machine.topo().numLinks(); ++i)
+        bypasses += machine.topo().link(i).kind == LinkKind::Bypass;
+    // B1<->B4 and B3<->B6.
+    EXPECT_EQ(bypasses, 2);
+}
+
+TEST(Machine, MultiPairMachineScales)
+{
+    AcceleratorConfig config = AcceleratorConfig::lerGan(ReplicaDegree::Low);
+    config.cuPairs = 2;
+    Machine machine(config);
+    // 12 banks, all reachable from each other.
+    EXPECT_EQ(machine.bank(11).bankId, 11);
+    const Route &cross = machine.routeTiles(0, 0, 11, 15, true);
+    EXPECT_TRUE(cross.valid());
+    // Intra-pair bypasses x2 pairs + inter-pair links.
+    int bypasses = 0;
+    for (std::size_t i = 0; i < machine.topo().numLinks(); ++i)
+        bypasses += machine.topo().link(i).kind == LinkKind::Bypass;
+    EXPECT_EQ(bypasses, 2 * 2 + 2);
+}
+
+TEST(Machine, RouteCacheReturnsSameObject)
+{
+    Machine machine(AcceleratorConfig::lerGan(ReplicaDegree::Low));
+    const Route &a = machine.routeTiles(0, 1, 3, 2, true);
+    const Route &b = machine.routeTiles(0, 1, 3, 2, true);
+    EXPECT_EQ(&a, &b);
+    // Different mode -> different cached route object.
+    const Route &c = machine.routeTiles(0, 1, 3, 2, false);
+    EXPECT_NE(&a, &c);
+}
+
+TEST(Machine, SmodeRoutesAvoidAddedWires)
+{
+    Machine machine(AcceleratorConfig::lerGan(ReplicaDegree::Low));
+    const Route &smode = machine.routeTiles(0, 0, 1, 0, false);
+    for (int link : smode.links) {
+        const LinkKind kind = machine.topo().link(link).kind;
+        EXPECT_TRUE(kind == LinkKind::HTree || kind == LinkKind::Bus);
+    }
+}
+
+TEST(Machine, AreaReflectsConnection)
+{
+    Machine three_d(AcceleratorConfig::lerGan(ReplicaDegree::Low));
+    Machine h_tree(AcceleratorConfig::prime());
+    EXPECT_GT(three_d.area().overhead(), 0.05);
+    EXPECT_DOUBLE_EQ(h_tree.area().overhead(), 0.0);
+}
+
+TEST(MachineDeath, InvalidRoutePanics)
+{
+    Machine machine(AcceleratorConfig::lerGan(ReplicaDegree::Low));
+    EXPECT_DEATH(machine.routeTiles(0, 0, 99, 0, true), "");
+}
+
+} // namespace
+} // namespace lergan

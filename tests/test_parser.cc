@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the Table V DSL parser and shape resolution, covering all
+ * eight benchmark topologies.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/parser.hh"
+#include "workloads/zoo.hh"
+
+namespace lergan {
+namespace {
+
+TEST(Parser, DcganGeneratorShapes)
+{
+    const GanModel model = makeBenchmark("DCGAN");
+    const auto &g = model.generator;
+    ASSERT_EQ(g.size(), 5u);
+
+    // FC 100 -> 1024 x 4 x 4.
+    EXPECT_EQ(g[0].kind, LayerKind::FullyConnected);
+    EXPECT_EQ(g[0].inChannels, 100);
+    EXPECT_EQ(g[0].outChannels, 1024 * 4 * 4);
+
+    // Four 5k2s T-CONVs: 4 -> 8 -> 16 -> 32 -> 64.
+    const int in_ch[] = {1024, 512, 256, 128};
+    const int out_ch[] = {512, 256, 128, 3};
+    const int in_sz[] = {4, 8, 16, 32};
+    for (int i = 0; i < 4; ++i) {
+        const LayerSpec &l = g[i + 1];
+        EXPECT_EQ(l.kind, LayerKind::TConv);
+        EXPECT_EQ(l.inChannels, in_ch[i]);
+        EXPECT_EQ(l.outChannels, out_ch[i]);
+        EXPECT_EQ(l.inSize, in_sz[i]);
+        EXPECT_EQ(l.outSize, in_sz[i] * 2);
+        EXPECT_EQ(l.kernel, 5);
+        EXPECT_EQ(l.stride, 2);
+        // CONV1's converse parameters from the paper: P' = 2, R = 1.
+        EXPECT_EQ(l.pad, 2);
+        EXPECT_EQ(l.rem, 1);
+    }
+}
+
+TEST(Parser, DcganDiscriminatorShapes)
+{
+    const GanModel model = makeBenchmark("DCGAN");
+    const auto &d = model.discriminator;
+    ASSERT_EQ(d.size(), 5u);
+
+    const int in_ch[] = {3, 128, 256, 512};
+    const int out_ch[] = {128, 256, 512, 1024};
+    const int in_sz[] = {64, 32, 16, 8};
+    for (int i = 0; i < 4; ++i) {
+        const LayerSpec &l = d[i];
+        EXPECT_EQ(l.kind, LayerKind::Conv);
+        EXPECT_EQ(l.inChannels, in_ch[i]);
+        EXPECT_EQ(l.outChannels, out_ch[i]);
+        EXPECT_EQ(l.inSize, in_sz[i]);
+        EXPECT_EQ(l.outSize, in_sz[i] / 2);
+        EXPECT_EQ(l.pad, 2);
+        EXPECT_EQ(l.rem, 1);
+    }
+    // Flatten + FC to a single logit.
+    EXPECT_EQ(d[4].kind, LayerKind::FullyConnected);
+    EXPECT_EQ(d[4].inChannels, 1024 * 4 * 4);
+    EXPECT_EQ(d[4].outChannels, 1);
+}
+
+TEST(Parser, MaganIsMostlyFullyConnected)
+{
+    const GanModel model = makeBenchmark("MAGAN-MNIST");
+    const auto &g = model.generator;
+    ASSERT_EQ(g.size(), 3u);
+    EXPECT_EQ(g[0].kind, LayerKind::FullyConnected);
+    EXPECT_EQ(g[0].inChannels, 50);
+    EXPECT_EQ(g[1].kind, LayerKind::TConv);
+    EXPECT_EQ(g[1].kernel, 7);
+    EXPECT_EQ(g[1].stride, 1);
+    EXPECT_EQ(g[2].kind, LayerKind::TConv);
+    EXPECT_EQ(g[2].outChannels, 1);
+    EXPECT_EQ(g[2].outSize, 28);
+
+    const auto &d = model.discriminator;
+    ASSERT_EQ(d.size(), 4u);
+    for (const auto &l : d)
+        EXPECT_EQ(l.kind, LayerKind::FullyConnected);
+    EXPECT_EQ(d[0].inChannels, 784);
+    EXPECT_EQ(d[0].outChannels, 256);
+    EXPECT_EQ(d[3].outChannels, 11);
+}
+
+TEST(Parser, ThreeDGanIsVolumetric)
+{
+    const GanModel model = makeBenchmark("3D-GAN");
+    EXPECT_EQ(model.spatialDims, 3);
+    const auto &g = model.generator;
+    ASSERT_EQ(g.size(), 4u);
+    // FC output must cover 512 x 8^3.
+    EXPECT_EQ(g[0].outChannels, 512 * 8 * 8 * 8);
+    EXPECT_EQ(g[3].outSize, 64);
+    // Discriminator input is a single-channel 64^3 volume.
+    EXPECT_EQ(model.discriminator[0].inChannels, 1);
+    EXPECT_EQ(model.discriminator[0].inSize, 64);
+}
+
+TEST(Parser, DiscoGan4HasConvAndTConvGenerator)
+{
+    const GanModel model = makeBenchmark("DiscoGAN-4pairs");
+    EXPECT_TRUE(model.generatorHasConv());
+    EXPECT_TRUE(model.hasTConv(NetRole::Generator));
+    const auto &g = model.generator;
+    ASSERT_EQ(g.size(), 8u);
+    // Encoder: 64 -> 4 spatial; decoder: 4 -> 64.
+    EXPECT_EQ(g[0].inSize, 64);
+    EXPECT_EQ(g[3].outSize, 4);
+    EXPECT_EQ(g[3].kind, LayerKind::Conv);
+    EXPECT_EQ(g[3].outChannels, 512);
+    EXPECT_EQ(g[4].kind, LayerKind::TConv);
+    EXPECT_EQ(g[4].inSize, 4);
+    EXPECT_EQ(g[7].outSize, 64);
+    EXPECT_EQ(g[7].outChannels, 3);
+}
+
+TEST(Parser, DiscoGan5HasFcBottleneck)
+{
+    const GanModel model = makeBenchmark("DiscoGAN-5pairs");
+    const auto &g = model.generator;
+    ASSERT_EQ(g.size(), 10u);
+    // Encoder convs, flatten-FC to 100, FC back up, decoder t-convs.
+    EXPECT_EQ(g[3].kind, LayerKind::Conv);
+    EXPECT_EQ(g[4].kind, LayerKind::FullyConnected);
+    EXPECT_EQ(g[4].inChannels, 512 * 4 * 4);
+    EXPECT_EQ(g[4].outChannels, 100);
+    EXPECT_EQ(g[5].kind, LayerKind::FullyConnected);
+    EXPECT_EQ(g[5].inChannels, 100);
+    EXPECT_EQ(g[5].outChannels, 512 * 4 * 4);
+    EXPECT_EQ(g[6].kind, LayerKind::TConv);
+}
+
+TEST(Parser, ArtGanMixedSpecs)
+{
+    const GanModel model = makeBenchmark("ArtGAN-CIFAR-10");
+    const auto &g = model.generator;
+    ASSERT_EQ(g.size(), 6u);
+    EXPECT_EQ(g[1].kernel, 4);
+    EXPECT_EQ(g[1].stride, 1);
+    EXPECT_EQ(g[5].kernel, 3);
+    EXPECT_EQ(g[5].stride, 1);
+    EXPECT_EQ(g[5].outSize, 32);
+    // Discriminator ends in an 11-way classifier.
+    EXPECT_EQ(model.discriminator.back().outChannels, 11);
+}
+
+TEST(Parser, AllBenchmarksValidate)
+{
+    // GanModel::check() runs inside parseGan; construction is the test.
+    const auto models = allBenchmarks();
+    EXPECT_EQ(models.size(), 8u);
+    for (const auto &model : models) {
+        EXPECT_GT(model.totalWeights(), 0u);
+        for (const auto *net : {&model.generator, &model.discriminator})
+            for (const auto &layer : *net)
+                EXPECT_GT(layer.numWeights(), 0u);
+    }
+}
+
+TEST(Parser, ChainVolumesAgree)
+{
+    for (const auto &model : allBenchmarks()) {
+        for (const auto *net : {&model.generator, &model.discriminator}) {
+            for (std::size_t i = 0; i + 1 < net->size(); ++i)
+                EXPECT_EQ((*net)[i].outVolume(), (*net)[i + 1].inVolume())
+                    << model.name << " layer " << i;
+        }
+    }
+}
+
+TEST(ParserDeath, RejectsMalformedTopology)
+{
+    EXPECT_DEATH(parseGan("bad", "100q-t3", "(3c)(4k2s)-f1", 64), "");
+    EXPECT_DEATH(parseGan("bad", "100f", "(3c-64c)(4k2s)-f1", 64), "");
+    EXPECT_DEATH(parseGan("bad", "100f-(512t-t3", "(3c-64c)(4k2s)-f1", 64),
+                 "");
+}
+
+TEST(ParserDeath, ConvTokenNeedsSpec)
+{
+    EXPECT_DEATH(parseGan("bad", "100f-512t-t3", "(3c-64c)(4k2s)-f1", 64),
+                 "");
+}
+
+} // namespace
+} // namespace lergan

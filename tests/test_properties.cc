@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Property-based tests: randomized task graphs against scheduling
+ * invariants, and routing invariants across the whole machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/machine.hh"
+#include "sim/task_graph.hh"
+
+namespace lergan {
+namespace {
+
+/** A randomly generated layered DAG with random resource assignments. */
+struct RandomDag {
+    TaskGraph graph;
+    ResourcePool pool;
+    std::vector<std::vector<TaskId>> layers;
+    std::vector<PicoSeconds> durations;
+    std::vector<std::vector<TaskId>> deps; // deps[task] = prerequisite ids
+};
+
+RandomDag
+makeRandomDag(std::uint64_t seed)
+{
+    RandomDag dag;
+    Rng rng(seed);
+    const int num_resources = 2 + static_cast<int>(rng.nextBounded(6));
+    for (int r = 0; r < num_resources; ++r)
+        dag.pool.create("res" + std::to_string(r));
+
+    const int num_layers = 2 + static_cast<int>(rng.nextBounded(5));
+    for (int layer = 0; layer < num_layers; ++layer) {
+        std::vector<TaskId> row;
+        const int width = 1 + static_cast<int>(rng.nextBounded(6));
+        for (int i = 0; i < width; ++i) {
+            const PicoSeconds duration = 1 + rng.nextBounded(50);
+            std::vector<std::size_t> resources;
+            if (rng.nextBounded(4) != 0)
+                resources.push_back(rng.nextBounded(num_resources));
+            const TaskId id = dag.graph.addTask(
+                {"t", resources, duration, 0, ""});
+            dag.durations.push_back(duration);
+            dag.deps.emplace_back();
+            if (layer > 0) {
+                // Each task depends on 1..3 tasks of the previous layer.
+                const auto &prev = dag.layers[layer - 1];
+                const int fanin =
+                    1 + static_cast<int>(rng.nextBounded(3));
+                for (int d = 0; d < fanin; ++d) {
+                    const TaskId dep =
+                        prev[rng.nextBounded(prev.size())];
+                    dag.graph.addDep(id, dep);
+                    dag.deps[id].push_back(dep);
+                }
+            }
+            row.push_back(id);
+        }
+        dag.layers.push_back(std::move(row));
+    }
+    return dag;
+}
+
+/** Longest dependency-chain duration (ignores resources): lower bound. */
+PicoSeconds
+criticalPath(const RandomDag &dag)
+{
+    std::vector<PicoSeconds> finish(dag.durations.size(), 0);
+    for (TaskId id = 0; id < dag.durations.size(); ++id) {
+        PicoSeconds ready = 0;
+        for (TaskId dep : dag.deps[id])
+            ready = std::max(ready, finish[dep]);
+        finish[id] = ready + dag.durations[id];
+    }
+    PicoSeconds best = 0;
+    for (PicoSeconds f : finish)
+        best = std::max(best, f);
+    return best;
+}
+
+class RandomDagProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomDagProperty, SchedulingInvariants)
+{
+    RandomDag dag = makeRandomDag(GetParam() * 7919 + 13);
+    const ExecResult result = dag.graph.execute(dag.pool);
+
+    // Bounds: critical path <= makespan <= serial sum.
+    PicoSeconds serial = 0;
+    for (PicoSeconds d : dag.durations)
+        serial += d;
+    EXPECT_GE(result.makespan, criticalPath(dag));
+    EXPECT_LE(result.makespan, serial);
+
+    // Dependencies respected: a task ends at least its duration after
+    // every prerequisite's end.
+    for (TaskId id = 0; id < dag.durations.size(); ++id)
+        for (TaskId dep : dag.deps[id])
+            EXPECT_GE(result.endTimes[id],
+                      result.endTimes[dep] + dag.durations[id]);
+
+    // No resource is busy longer than the run.
+    for (std::size_t r = 0; r < dag.pool.size(); ++r)
+        EXPECT_LE(dag.pool[r].busyTime(), result.makespan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperty, testing::Range(0, 24));
+
+/** Routing invariants over bank pairs of a full machine. */
+class RouteProperty
+    : public testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    static Machine &
+    threeD()
+    {
+        static Machine machine{
+            AcceleratorConfig::lerGan(ReplicaDegree::Low)};
+        return machine;
+    }
+    static Machine &
+    hTree()
+    {
+        static Machine machine{AcceleratorConfig::prime()};
+        return machine;
+    }
+};
+
+TEST_P(RouteProperty, RoutesExistAndAreSane)
+{
+    auto [bank_a, bank_b] = GetParam();
+    const Route &r3d = threeD().routeTiles(bank_a, 2, bank_b, 9, true);
+    const Route &r2d = hTree().routeTiles(bank_a, 2, bank_b, 9, true);
+    ASSERT_TRUE(r3d.valid());
+    ASSERT_TRUE(r2d.valid());
+    EXPECT_GT(r3d.minBytesPerNs, 0.0);
+
+    // The 3D connection never routes slower than the H-tree machine.
+    EXPECT_LE(r3d.latencyNs, r2d.latencyNs);
+
+    // Latency symmetry (undirected wires).
+    const Route &back = threeD().routeTiles(bank_b, 9, bank_a, 2, true);
+    EXPECT_DOUBLE_EQ(r3d.latencyNs, back.latencyNs);
+
+    // Smode routes (H-tree + bus only) are never faster than Cmode.
+    const Route &smode = threeD().routeTiles(bank_a, 2, bank_b, 9, false);
+    ASSERT_TRUE(smode.valid());
+    EXPECT_GE(smode.latencyNs, r3d.latencyNs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BankPairs, RouteProperty,
+    testing::Combine(testing::Values(0, 1, 2, 3, 4, 5),
+                     testing::Values(0, 1, 2, 3, 4, 5)));
+
+TEST(RouteInvariants, IntraBankNeverCrossesTheBus)
+{
+    Machine machine{AcceleratorConfig::lerGan(ReplicaDegree::Low)};
+    for (int a = 0; a < 16; a += 5) {
+        for (int b = 0; b < 16; b += 3) {
+            const Route &route = machine.routeTiles(0, a, 0, b, true);
+            for (int link : route.links)
+                EXPECT_NE(machine.topo().link(link).kind, LinkKind::Bus);
+        }
+    }
+}
+
+TEST(RouteInvariants, StackedBankRouteUsesVerticalWire)
+{
+    Machine machine{AcceleratorConfig::lerGan(ReplicaDegree::Low)};
+    const Route &route = machine.routeTiles(0, 5, 1, 5, true);
+    ASSERT_EQ(route.links.size(), 1u);
+    EXPECT_EQ(machine.topo().link(route.links[0]).kind,
+              LinkKind::Vertical);
+}
+
+} // namespace
+} // namespace lergan

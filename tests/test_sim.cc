@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel, resources and task graphs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/resource.hh"
+#include "sim/task_graph.hh"
+
+namespace lergan {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.scheduleAt(30, [&] { order.push_back(3); });
+    queue.scheduleAt(10, [&] { order.push_back(1); });
+    queue.scheduleAt(20, [&] { order.push_back(2); });
+    EXPECT_EQ(queue.run(), 30u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFiresInScheduleOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        queue.scheduleAt(7, [&, i] { order.push_back(i); });
+    queue.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMore)
+{
+    EventQueue queue;
+    int fired = 0;
+    queue.scheduleAt(1, [&] {
+        ++fired;
+        queue.scheduleAfter(5, [&] { ++fired; });
+    });
+    EXPECT_EQ(queue.run(), 6u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, ResetClearsState)
+{
+    EventQueue queue;
+    queue.scheduleAt(5, [] {});
+    queue.reset();
+    EXPECT_EQ(queue.pending(), 0u);
+    EXPECT_EQ(queue.now(), 0u);
+}
+
+TEST(EventQueueDeath, PastSchedulingIsABug)
+{
+    EventQueue queue;
+    queue.scheduleAt(10, [&] {
+        EXPECT_DEATH(queue.scheduleAt(5, [] {}), "past");
+    });
+    queue.run();
+}
+
+TEST(Resource, FifoReservations)
+{
+    Resource res("r");
+    EXPECT_EQ(res.reserve(0, 10), 0u);
+    EXPECT_EQ(res.reserve(0, 10), 10u);  // queued behind the first
+    EXPECT_EQ(res.reserve(50, 10), 50u); // idle gap honored
+    EXPECT_EQ(res.busyTime(), 30u);
+    EXPECT_EQ(res.reservations(), 3u);
+}
+
+TEST(Resource, ResetForgetsHistory)
+{
+    Resource res("r");
+    res.reserve(0, 100);
+    res.reset();
+    EXPECT_EQ(res.nextFree(), 0u);
+    EXPECT_EQ(res.busyTime(), 0u);
+}
+
+TEST(TaskGraph, ChainRespectsDependencies)
+{
+    ResourcePool pool;
+    const auto r = pool.create("unit");
+    TaskGraph graph;
+    const TaskId a = graph.addTask({"a", {r}, 10, 0, ""});
+    const TaskId b = graph.addTask({"b", {r}, 20, 0, ""});
+    graph.addDep(b, a);
+    const ExecResult result = graph.execute(pool);
+    EXPECT_EQ(result.makespan, 30u);
+    EXPECT_EQ(result.endTimes[a], 10u);
+    EXPECT_EQ(result.endTimes[b], 30u);
+}
+
+TEST(TaskGraph, IndependentTasksContendOnSharedResource)
+{
+    ResourcePool pool;
+    const auto r = pool.create("unit");
+    TaskGraph graph;
+    for (int i = 0; i < 4; ++i)
+        graph.addTask({"t", {r}, 10, 0, ""});
+    const ExecResult result = graph.execute(pool);
+    EXPECT_EQ(result.makespan, 40u); // serialized on one resource
+}
+
+TEST(TaskGraph, IndependentTasksOnDistinctResourcesOverlap)
+{
+    ResourcePool pool;
+    TaskGraph graph;
+    for (int i = 0; i < 4; ++i) {
+        const auto r = pool.create("unit" + std::to_string(i));
+        graph.addTask({"t", {r}, 10, 0, ""});
+    }
+    EXPECT_EQ(graph.execute(pool).makespan, 10u);
+}
+
+TEST(TaskGraph, PipelineOverlapsStages)
+{
+    // Two-stage pipeline, 3 items: makespan = (3 + 2 - 1) * 10.
+    ResourcePool pool;
+    const auto s1 = pool.create("stage1");
+    const auto s2 = pool.create("stage2");
+    TaskGraph graph;
+    for (int item = 0; item < 3; ++item) {
+        const TaskId a = graph.addTask({"s1", {s1}, 10, 0, ""});
+        const TaskId b = graph.addTask({"s2", {s2}, 10, 0, ""});
+        graph.addDep(b, a);
+    }
+    EXPECT_EQ(graph.execute(pool).makespan, 40u);
+}
+
+TEST(TaskGraph, MultiResourceTaskHoldsAll)
+{
+    ResourcePool pool;
+    const auto r1 = pool.create("r1");
+    const auto r2 = pool.create("r2");
+    TaskGraph graph;
+    graph.addTask({"uses r1", {r1}, 10, 0, ""});
+    graph.addTask({"uses both", {r1, r2}, 10, 0, ""});
+    graph.addTask({"uses r2", {r2}, 10, 0, ""});
+    const ExecResult result = graph.execute(pool);
+    // The both-task starts after r1 frees; the r2-task waits for it.
+    EXPECT_EQ(result.makespan, 30u);
+}
+
+TEST(TaskGraph, EnergyChargedToKeys)
+{
+    ResourcePool pool;
+    TaskGraph graph;
+    graph.addTask({"a", {}, 1, 12.5, "energy.x"});
+    graph.addTask({"b", {}, 1, 7.5, "energy.x"});
+    graph.addTask({"c", {}, 1, 5.0, "energy.y"});
+    const ExecResult result = graph.execute(pool);
+    EXPECT_DOUBLE_EQ(result.stats.get("energy.x"), 20.0);
+    EXPECT_DOUBLE_EQ(result.stats.get("energy.y"), 5.0);
+}
+
+TEST(TaskGraph, ZeroDurationBarrier)
+{
+    ResourcePool pool;
+    const auto r = pool.create("r");
+    TaskGraph graph;
+    const TaskId a = graph.addTask({"a", {r}, 15, 0, ""});
+    const TaskId barrier = graph.addTask({"barrier", {}, 0, 0, ""});
+    const TaskId b = graph.addTask({"b", {r}, 5, 0, ""});
+    graph.addDep(barrier, a);
+    graph.addDep(b, barrier);
+    const ExecResult result = graph.execute(pool);
+    EXPECT_EQ(result.endTimes[barrier], 15u);
+    EXPECT_EQ(result.makespan, 20u);
+}
+
+TEST(TaskGraph, ReexecutableAfterPoolReset)
+{
+    ResourcePool pool;
+    const auto r = pool.create("r");
+    TaskGraph graph;
+    graph.addTask({"a", {r}, 10, 0, ""});
+    EXPECT_EQ(graph.execute(pool).makespan, 10u);
+    pool.resetAll();
+    EXPECT_EQ(graph.execute(pool).makespan, 10u);
+}
+
+TEST(TaskGraphDeath, CycleIsDetected)
+{
+    ResourcePool pool;
+    TaskGraph graph;
+    const TaskId a = graph.addTask({"a", {}, 1, 0, ""});
+    const TaskId b = graph.addTask({"b", {}, 1, 0, ""});
+    graph.addDep(a, b);
+    graph.addDep(b, a);
+    EXPECT_DEATH(graph.execute(pool), "cycle");
+}
+
+} // namespace
+} // namespace lergan

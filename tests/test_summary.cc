@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for model introspection, anchored by the DSL round-trip
+ * property: re-parsing toDsl(model) reproduces the model exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/parser.hh"
+#include "nn/summary.hh"
+#include "workloads/zoo.hh"
+
+namespace lergan {
+namespace {
+
+bool
+sameLayer(const LayerSpec &a, const LayerSpec &b)
+{
+    return a.kind == b.kind && a.inChannels == b.inChannels &&
+           a.outChannels == b.outChannels && a.inSize == b.inSize &&
+           a.outSize == b.outSize && a.kernel == b.kernel &&
+           a.stride == b.stride && a.pad == b.pad && a.padHi == b.padHi &&
+           a.rem == b.rem && a.spatialDims == b.spatialDims;
+}
+
+TEST(Summary, DslRoundTripsEveryBenchmark)
+{
+    for (const GanModel &model : allBenchmarks()) {
+        const std::string gen_dsl = toDsl(model, NetRole::Generator);
+        const std::string disc_dsl =
+            toDsl(model, NetRole::Discriminator);
+        const GanModel reparsed =
+            parseGan(model.name, gen_dsl, disc_dsl, model.itemSize,
+                     model.spatialDims);
+        ASSERT_EQ(reparsed.generator.size(), model.generator.size())
+            << model.name << ": " << gen_dsl;
+        ASSERT_EQ(reparsed.discriminator.size(),
+                  model.discriminator.size())
+            << model.name << ": " << disc_dsl;
+        for (std::size_t i = 0; i < model.generator.size(); ++i)
+            EXPECT_TRUE(sameLayer(reparsed.generator[i],
+                                  model.generator[i]))
+                << model.name << " G layer " << i;
+        for (std::size_t i = 0; i < model.discriminator.size(); ++i)
+            EXPECT_TRUE(sameLayer(reparsed.discriminator[i],
+                                  model.discriminator[i]))
+                << model.name << " D layer " << i;
+    }
+}
+
+TEST(Summary, DslRoundTripsFutureGan)
+{
+    const GanModel model = futureGanStride3();
+    const GanModel reparsed = parseGan(
+        model.name, toDsl(model, NetRole::Generator),
+        toDsl(model, NetRole::Discriminator), model.itemSize,
+        model.spatialDims);
+    EXPECT_EQ(reparsed.totalWeights(), model.totalWeights());
+}
+
+TEST(Summary, KnownDslStringsReproduceVerbatim)
+{
+    // Where the original Table V string is already in canonical
+    // (ungrouped) form, toDsl should match it token for token.
+    const GanModel magan = makeBenchmark("MAGAN-MNIST");
+    EXPECT_EQ(toDsl(magan, NetRole::Generator),
+              "50f-128t7k1s-64t4k2s-t1");
+    EXPECT_EQ(toDsl(magan, NetRole::Discriminator),
+              "784f-256f-256f-784f-f11");
+}
+
+TEST(Summary, DescribeLayerMentionsEverything)
+{
+    const GanModel model = makeBenchmark("DCGAN");
+    const std::string text = describeLayer(model.generator[1]);
+    EXPECT_NE(text.find("1024x4^2"), std::string::npos);
+    EXPECT_NE(text.find("512x8^2"), std::string::npos);
+    EXPECT_NE(text.find("tconv"), std::string::npos);
+    EXPECT_NE(text.find("k5 s2"), std::string::npos);
+}
+
+TEST(Summary, PrintModelListsAllLayers)
+{
+    const GanModel model = makeBenchmark("cGAN");
+    std::ostringstream oss;
+    printModel(oss, model);
+    for (const auto *net : {&model.generator, &model.discriminator})
+        for (const LayerSpec &layer : *net)
+            EXPECT_NE(oss.str().find(layer.name), std::string::npos);
+}
+
+} // namespace
+} // namespace lergan

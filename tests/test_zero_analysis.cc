@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the zero accounting, anchored on the paper's Sec. III-A
+ * worked numbers for CONV1 of the DCGAN generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/zero_analysis.hh"
+#include "workloads/zoo.hh"
+
+namespace lergan {
+namespace {
+
+/** Find the op of layer @p name in phase @p phase. */
+LayerOp
+findOp(const GanModel &model, Phase phase, const std::string &layer_name)
+{
+    for (const LayerOp &op : opsForPhase(model, phase)) {
+        const auto &net = model.net(op.role);
+        if (net[op.layerIdx].name == layer_name)
+            return op;
+    }
+    ADD_FAILURE() << "no op for " << layer_name;
+    return LayerOp{};
+}
+
+/** CONV1 = the first T-CONV of the DCGAN generator (G.l2). */
+LayerOp
+conv1Op()
+{
+    return findOp(makeBenchmark("DCGAN"), Phase::GFwd, "G.l2.tconv");
+}
+
+TEST(ZeroAnalysis, Conv1StorageMatchesPaper)
+{
+    const LayerOp op = conv1Op();
+    const OpZeroStats stats = analyzeOp(op);
+    // "we store and transfer 147456 input values while only 16384 of them
+    // are useful" (Sec. III-A).
+    EXPECT_EQ(stats.totalInputs, 147456u);
+    EXPECT_EQ(stats.usefulInputs, 16384u);
+}
+
+TEST(ZeroAnalysis, Conv1MultiplyEfficiencyMatchesPaper)
+{
+    const LayerOp op = conv1Op();
+    const OpZeroStats stats = analyzeOp(op);
+    // "we conduct 1638400 multiplications while 295936 of them are
+    // useful, whose efficiency is only 18.06%". The paper counts per
+    // kernel; our totals carry the x512 output-channel factor.
+    EXPECT_EQ(stats.totalMults / 512, 1638400u);
+    EXPECT_EQ(stats.usefulMults / 512, 295936u);
+    EXPECT_NEAR(stats.multEfficiency(), 0.1806, 1e-3);
+}
+
+TEST(ZeroAnalysis, Conv1ZeroCountMatchesEq7)
+{
+    const LayerOp op = conv1Op();
+    // Eq. 6: N_iz = (S'-1)(I-1) + R = 1*3 + 1 = 4 per dimension.
+    // Eq. 7 (with the paper's P meaning total padding per dimension):
+    // N_zero = (4+4+4)^2 - 4*4 = 144 - 16 = 128 per channel.
+    EXPECT_EQ(zeroCount(op), 128u * 1024u);
+}
+
+TEST(ZeroAnalysis, DenseOpsAreFullyUseful)
+{
+    const GanModel model = makeBenchmark("DCGAN");
+    for (const LayerOp &op : opsForPhase(model, Phase::DFwd)) {
+        const OpZeroStats stats = analyzeOp(op);
+        EXPECT_EQ(stats.usefulMults, stats.totalMults) << op.label;
+        EXPECT_DOUBLE_EQ(stats.multEfficiency(), 1.0) << op.label;
+    }
+}
+
+TEST(ZeroAnalysis, MaganDiscriminatorHasNoZeros)
+{
+    // MAGAN-MNIST's discriminator is fully connected; ZFDR finds nothing.
+    const GanModel model = makeBenchmark("MAGAN-MNIST");
+    for (Phase phase : {Phase::DFwd, Phase::DBwdErr, Phase::DBwdWeight}) {
+        for (const LayerOp &op : opsForPhase(model, phase))
+            EXPECT_FALSE(op.zfdrApplicable()) << op.label;
+    }
+}
+
+TEST(ZeroAnalysis, TconvPhasesHaveLowEfficiency)
+{
+    // Every T-CONV-heavy benchmark wastes most multiplies without ZFDR.
+    for (const char *name : {"DCGAN", "cGAN", "GPGAN"}) {
+        const OpZeroStats stats =
+            analyzePhase(makeBenchmark(name), Phase::GFwd);
+        EXPECT_LT(stats.multEfficiency(), 0.5) << name;
+        EXPECT_GT(stats.storageBlowup(), 2.0) << name;
+    }
+}
+
+TEST(ZeroAnalysis, DiscoGan4GeneratorUsesZfdrInFivePhases)
+{
+    // "DiscoGAN-4pairs has 5 phases using ZFDR because its generator has
+    // both S-CONV and T-CONV" (Sec. VI-C).
+    const GanModel model = makeBenchmark("DiscoGAN-4pairs");
+    int phases_with_zfdr = 0;
+    for (Phase phase : kAllPhases) {
+        bool any = false;
+        for (const LayerOp &op : opsForPhase(model, phase))
+            any = any || op.zfdrApplicable();
+        phases_with_zfdr += any;
+    }
+    EXPECT_EQ(phases_with_zfdr, 5);
+}
+
+TEST(ZeroAnalysis, StandardGanUsesZfdrInFourPhases)
+{
+    // Normal case (Sec. V Interface): ZFDR_T for G.fwd, G.bwd_w, D.bwd_err
+    // and ZFDR_WS for D.bwd_w; D.fwd and G.bwd_err stay dense.
+    const GanModel model = makeBenchmark("DCGAN");
+    auto phase_uses_zfdr = [&](Phase phase) {
+        for (const LayerOp &op : opsForPhase(model, phase))
+            if (op.zfdrApplicable())
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(phase_uses_zfdr(Phase::GFwd));
+    EXPECT_TRUE(phase_uses_zfdr(Phase::GBwdWeight));
+    EXPECT_TRUE(phase_uses_zfdr(Phase::DBwdErr));
+    EXPECT_TRUE(phase_uses_zfdr(Phase::DBwdWeight));
+    EXPECT_FALSE(phase_uses_zfdr(Phase::DFwd));
+    EXPECT_FALSE(phase_uses_zfdr(Phase::GBwdErr));
+}
+
+TEST(ZeroAnalysis, ZeroCountGrowsWithStride)
+{
+    // Eq. 6/7: more stride means more inserted zeros. Compare cGAN (4k2s)
+    // layers against a hypothetical stride-3 variant via raw patterns.
+    const LayerOp op = conv1Op();
+    const OpZeroStats s2 = analyzeOp(op);
+    LayerOp op3 = op;
+    op3.stride = 3;
+    op3.rem = 0;
+    // Keep the pattern legal; positions change but the comparison holds
+    // per-position.
+    const Pattern1D p2 = op.pattern1d();
+    const Pattern1D p3 = op3.pattern1d();
+    const double density2 =
+        static_cast<double>(p2.dataCells) / p2.gridLength;
+    const double density3 =
+        static_cast<double>(p3.dataCells) / p3.gridLength;
+    EXPECT_LT(density3, density2);
+    EXPECT_LT(s2.multEfficiency(), 1.0);
+}
+
+TEST(ZeroAnalysis, WconvInputAccountingMatchesEq10)
+{
+    // First conv of the DCGAN discriminator: I=64, P=2, W=5, S=2, O=32,
+    // R=1. Eq. 10: zeros = [(N_iz+O)^2 - O^2] * C_out + [(I+2P)^2 - I^2]
+    // * C_in with N_iz = (S-1)(O-1) + R = 32.
+    const GanModel model = makeBenchmark("DCGAN");
+    const LayerOp op = findOp(model, Phase::DBwdWeight, "D.l1.conv");
+    ASSERT_EQ(op.pattern, OpPattern::SparseKernelConv);
+    const std::uint64_t grad_zeros = (64ull * 64 - 32 * 32) * 128;
+    const std::uint64_t pad_zeros = (68ull * 68 - 64 * 64) * 3;
+    EXPECT_EQ(zeroCount(op), grad_zeros + pad_zeros);
+}
+
+TEST(ZeroAnalysis, ModelAggregateIsSumOfPhases)
+{
+    const GanModel model = makeBenchmark("cGAN");
+    OpZeroStats sum;
+    for (Phase phase : kAllPhases)
+        sum += analyzePhase(model, phase);
+    const OpZeroStats whole = analyzeModel(model);
+    EXPECT_EQ(sum.usefulMults, whole.usefulMults);
+    EXPECT_EQ(sum.totalMults, whole.totalMults);
+    EXPECT_EQ(sum.totalInputs, whole.totalInputs);
+}
+
+} // namespace
+} // namespace lergan

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Closed-form zero-count verification: Eq. 6/7 (T-CONV insertion) and
+ * Eq. 9/10 (W-CONV-S insertion) evaluated symbolically must match the
+ * op-level accounting for every symmetric sparse op of every benchmark
+ * and the stride-3 future GAN.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/zero_analysis.hh"
+#include "workloads/zoo.hh"
+
+namespace lergan {
+namespace {
+
+/** Eq. 6: N_iz = (S' - 1)(I - 1) + R along one dimension. */
+std::uint64_t
+eq6InsertedZeros(int input, int stride, int rem)
+{
+    return static_cast<std::uint64_t>(stride - 1) * (input - 1) + rem;
+}
+
+/**
+ * Eq. 7 (generalized to d dims and per-side padding): total grid cells
+ * minus real cells, per channel.
+ */
+std::uint64_t
+eq7ZeroCount(int input, int stride, int pad_lo, int pad_hi, int rem,
+             int dims)
+{
+    const std::uint64_t n_iz = eq6InsertedZeros(input, stride, rem);
+    const std::uint64_t grid = n_iz + input + pad_lo + pad_hi;
+    return ipow(grid, dims) - ipow(input, dims);
+}
+
+/** Eq. 9: grad-kernel insertion along one dimension. */
+std::uint64_t
+eq9InsertedZeros(int out, int stride, int rem)
+{
+    return static_cast<std::uint64_t>(stride - 1) * (out - 1) + rem;
+}
+
+/** Eq. 10 (generalized): inserted grad zeros plus input padding zeros. */
+std::uint64_t
+eq10ZeroCount(const LayerSpec &l)
+{
+    const std::uint64_t grad_grid =
+        eq9InsertedZeros(l.outSize, l.stride, l.rem) + l.outSize;
+    const std::uint64_t grad_zeros =
+        (ipow(grad_grid, l.spatialDims) -
+         ipow(l.outSize, l.spatialDims)) *
+        l.outChannels;
+    const std::uint64_t pad_zeros =
+        (ipow(l.inSize + l.pad + l.padHi, l.spatialDims) -
+         ipow(l.inSize, l.spatialDims)) *
+        l.inChannels;
+    return grad_zeros + pad_zeros;
+}
+
+std::vector<GanModel>
+sweepModels()
+{
+    std::vector<GanModel> models = allBenchmarks();
+    models.push_back(futureGanStride3());
+    models.push_back(futureGanStride2Control());
+    return models;
+}
+
+TEST(ZeroFormulas, Eq6Eq7MatchTconvForwardOps)
+{
+    for (const GanModel &model : sweepModels()) {
+        for (const LayerOp &op : opsForPhase(model, Phase::GFwd)) {
+            if (op.pattern != OpPattern::SparseGridConv)
+                continue;
+            const std::uint64_t expected =
+                eq7ZeroCount(op.data, op.stride, op.padLo, op.padHi,
+                             op.rem, op.spatialDims) *
+                op.vecChannels;
+            EXPECT_EQ(zeroCount(op), expected)
+                << model.name << " " << op.label;
+        }
+    }
+}
+
+TEST(ZeroFormulas, Eq6Eq7MatchErrorBackpropOps)
+{
+    // Backprop through an S-CONV zero-inserts the gradient map with the
+    // same Eq. 6/7 structure (grad side length O, stride S).
+    for (const GanModel &model : sweepModels()) {
+        for (const LayerOp &op : opsForPhase(model, Phase::DBwdErr)) {
+            if (op.pattern != OpPattern::SparseGridConv)
+                continue;
+            const std::uint64_t expected =
+                eq7ZeroCount(op.data, op.stride, op.padLo, op.padHi,
+                             op.rem, op.spatialDims) *
+                op.vecChannels;
+            EXPECT_EQ(zeroCount(op), expected)
+                << model.name << " " << op.label;
+        }
+    }
+}
+
+TEST(ZeroFormulas, Eq9Eq10MatchWconvOps)
+{
+    for (const GanModel &model : sweepModels()) {
+        for (const LayerOp &op : opsForPhase(model, Phase::DBwdWeight)) {
+            if (op.pattern != OpPattern::SparseKernelConv)
+                continue;
+            const LayerSpec &layer = model.net(op.role)[op.layerIdx];
+            EXPECT_EQ(zeroCount(op), eq10ZeroCount(layer))
+                << model.name << " " << op.label;
+        }
+    }
+}
+
+TEST(ZeroFormulas, ZerosGrowWithStrideAndPadding)
+{
+    // The paper's observation below Eq. 7: N_zero increases with S'
+    // and P. Check monotonicity over a parameter grid.
+    for (int input : {4, 8, 16}) {
+        for (int pad = 0; pad < 3; ++pad) {
+            for (int stride = 1; stride <= 3; ++stride) {
+                const auto zeros =
+                    eq7ZeroCount(input, stride, pad, pad, 0, 2);
+                if (stride < 3) {
+                    EXPECT_LE(zeros, eq7ZeroCount(input, stride + 1, pad,
+                                                  pad, 0, 2));
+                }
+                EXPECT_LE(zeros, eq7ZeroCount(input, stride, pad + 1,
+                                              pad + 1, 0, 2));
+            }
+        }
+    }
+}
+
+TEST(ZeroFormulas, Conv1AnchorsFromTheText)
+{
+    // Sec. III-A: CONV1 has N_iz = 4 per dimension and 128 zeros per
+    // channel on a 12x12 grid.
+    EXPECT_EQ(eq6InsertedZeros(4, 2, 1), 4u);
+    EXPECT_EQ(eq7ZeroCount(4, 2, 2, 2, 1, 2), 128u);
+    // Fig. 6's W-CONV: N_iz = (S-1)(O-1) + R = 4.
+    EXPECT_EQ(eq9InsertedZeros(4, 2, 1), 4u);
+}
+
+} // namespace
+} // namespace lergan
