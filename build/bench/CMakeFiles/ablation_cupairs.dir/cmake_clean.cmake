@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cupairs.dir/ablation_cupairs.cc.o"
+  "CMakeFiles/ablation_cupairs.dir/ablation_cupairs.cc.o.d"
+  "ablation_cupairs"
+  "ablation_cupairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cupairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

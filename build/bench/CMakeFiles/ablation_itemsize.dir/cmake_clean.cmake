@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_itemsize.dir/ablation_itemsize.cc.o"
+  "CMakeFiles/ablation_itemsize.dir/ablation_itemsize.cc.o.d"
+  "ablation_itemsize"
+  "ablation_itemsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_itemsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

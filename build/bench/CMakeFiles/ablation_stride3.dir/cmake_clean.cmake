@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stride3.dir/ablation_stride3.cc.o"
+  "CMakeFiles/ablation_stride3.dir/ablation_stride3.cc.o.d"
+  "ablation_stride3"
+  "ablation_stride3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stride3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

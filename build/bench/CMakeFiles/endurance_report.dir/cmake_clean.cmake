@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endurance_report.dir/endurance_report.cc.o"
+  "CMakeFiles/endurance_report.dir/endurance_report.cc.o.d"
+  "endurance_report"
+  "endurance_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endurance_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_zfdr_phases.dir/fig16_zfdr_phases.cc.o"
+  "CMakeFiles/fig16_zfdr_phases.dir/fig16_zfdr_phases.cc.o.d"
+  "fig16_zfdr_phases"
+  "fig16_zfdr_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_zfdr_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

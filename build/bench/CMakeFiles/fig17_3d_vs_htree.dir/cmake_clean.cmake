@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_3d_vs_htree.dir/fig17_3d_vs_htree.cc.o"
+  "CMakeFiles/fig17_3d_vs_htree.dir/fig17_3d_vs_htree.cc.o.d"
+  "fig17_3d_vs_htree"
+  "fig17_3d_vs_htree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_3d_vs_htree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

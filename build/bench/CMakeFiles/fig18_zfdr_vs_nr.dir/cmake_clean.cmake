@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_zfdr_vs_nr.dir/fig18_zfdr_vs_nr.cc.o"
+  "CMakeFiles/fig18_zfdr_vs_nr.dir/fig18_zfdr_vs_nr.cc.o.d"
+  "fig18_zfdr_vs_nr"
+  "fig18_zfdr_vs_nr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_zfdr_vs_nr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig18_zfdr_vs_nr.
+# This may be replaced when dependencies are built.

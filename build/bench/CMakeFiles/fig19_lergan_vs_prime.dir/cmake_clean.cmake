@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_lergan_vs_prime.dir/fig19_lergan_vs_prime.cc.o"
+  "CMakeFiles/fig19_lergan_vs_prime.dir/fig19_lergan_vs_prime.cc.o.d"
+  "fig19_lergan_vs_prime"
+  "fig19_lergan_vs_prime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_lergan_vs_prime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

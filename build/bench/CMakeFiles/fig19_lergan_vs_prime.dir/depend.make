@@ -1,0 +1,2 @@
+# Empty dependencies file for fig19_lergan_vs_prime.
+# This may be replaced when dependencies are built.

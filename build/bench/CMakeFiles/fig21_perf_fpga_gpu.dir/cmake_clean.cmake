@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_perf_fpga_gpu.dir/fig21_perf_fpga_gpu.cc.o"
+  "CMakeFiles/fig21_perf_fpga_gpu.dir/fig21_perf_fpga_gpu.cc.o.d"
+  "fig21_perf_fpga_gpu"
+  "fig21_perf_fpga_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_perf_fpga_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig21_perf_fpga_gpu.
+# This may be replaced when dependencies are built.

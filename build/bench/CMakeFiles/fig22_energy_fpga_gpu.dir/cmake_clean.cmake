@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_energy_fpga_gpu.dir/fig22_energy_fpga_gpu.cc.o"
+  "CMakeFiles/fig22_energy_fpga_gpu.dir/fig22_energy_fpga_gpu.cc.o.d"
+  "fig22_energy_fpga_gpu"
+  "fig22_energy_fpga_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_energy_fpga_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_energy_breakdown.dir/fig23_energy_breakdown.cc.o"
+  "CMakeFiles/fig23_energy_breakdown.dir/fig23_energy_breakdown.cc.o.d"
+  "fig23_energy_breakdown"
+  "fig23_energy_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig24_tile_breakdown.dir/fig24_tile_breakdown.cc.o"
+  "CMakeFiles/fig24_tile_breakdown.dir/fig24_tile_breakdown.cc.o.d"
+  "fig24_tile_breakdown"
+  "fig24_tile_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig24_tile_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

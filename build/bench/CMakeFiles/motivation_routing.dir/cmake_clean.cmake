@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_routing.dir/motivation_routing.cc.o"
+  "CMakeFiles/motivation_routing.dir/motivation_routing.cc.o.d"
+  "motivation_routing"
+  "motivation_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_breakdown.dir/phase_breakdown.cc.o"
+  "CMakeFiles/phase_breakdown.dir/phase_breakdown.cc.o.d"
+  "phase_breakdown"
+  "phase_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

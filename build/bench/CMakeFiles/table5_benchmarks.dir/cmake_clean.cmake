@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_benchmarks.dir/table5_benchmarks.cc.o"
+  "CMakeFiles/table5_benchmarks.dir/table5_benchmarks.cc.o.d"
+  "table5_benchmarks"
+  "table5_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_gan.dir/custom_gan.cpp.o"
+  "CMakeFiles/custom_gan.dir/custom_gan.cpp.o.d"
+  "custom_gan"
+  "custom_gan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_gan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/params_explorer.dir/params_explorer.cpp.o"
+  "CMakeFiles/params_explorer.dir/params_explorer.cpp.o.d"
+  "params_explorer"
+  "params_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/params_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_dump.dir/topology_dump.cpp.o"
+  "CMakeFiles/topology_dump.dir/topology_dump.cpp.o.d"
+  "topology_dump"
+  "topology_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zero_tour.dir/zero_tour.cpp.o"
+  "CMakeFiles/zero_tour.dir/zero_tour.cpp.o.d"
+  "zero_tour"
+  "zero_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zero_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

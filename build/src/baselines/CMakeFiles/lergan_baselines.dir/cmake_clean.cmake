@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lergan_baselines.dir/fpga_gan.cc.o"
+  "CMakeFiles/lergan_baselines.dir/fpga_gan.cc.o.d"
+  "CMakeFiles/lergan_baselines.dir/gpu.cc.o"
+  "CMakeFiles/lergan_baselines.dir/gpu.cc.o.d"
+  "CMakeFiles/lergan_baselines.dir/prime.cc.o"
+  "CMakeFiles/lergan_baselines.dir/prime.cc.o.d"
+  "liblergan_baselines.a"
+  "liblergan_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lergan_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lergan_common.dir/args.cc.o"
+  "CMakeFiles/lergan_common.dir/args.cc.o.d"
+  "CMakeFiles/lergan_common.dir/json.cc.o"
+  "CMakeFiles/lergan_common.dir/json.cc.o.d"
+  "CMakeFiles/lergan_common.dir/logging.cc.o"
+  "CMakeFiles/lergan_common.dir/logging.cc.o.d"
+  "CMakeFiles/lergan_common.dir/random.cc.o"
+  "CMakeFiles/lergan_common.dir/random.cc.o.d"
+  "CMakeFiles/lergan_common.dir/stats.cc.o"
+  "CMakeFiles/lergan_common.dir/stats.cc.o.d"
+  "CMakeFiles/lergan_common.dir/strings.cc.o"
+  "CMakeFiles/lergan_common.dir/strings.cc.o.d"
+  "CMakeFiles/lergan_common.dir/table.cc.o"
+  "CMakeFiles/lergan_common.dir/table.cc.o.d"
+  "liblergan_common.a"
+  "liblergan_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lergan_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accelerator.cc" "src/core/CMakeFiles/lergan_core.dir/accelerator.cc.o" "gcc" "src/core/CMakeFiles/lergan_core.dir/accelerator.cc.o.d"
+  "/root/repo/src/core/api.cc" "src/core/CMakeFiles/lergan_core.dir/api.cc.o" "gcc" "src/core/CMakeFiles/lergan_core.dir/api.cc.o.d"
+  "/root/repo/src/core/compiler.cc" "src/core/CMakeFiles/lergan_core.dir/compiler.cc.o" "gcc" "src/core/CMakeFiles/lergan_core.dir/compiler.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/lergan_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/lergan_core.dir/config.cc.o.d"
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/lergan_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/lergan_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/machine.cc" "src/core/CMakeFiles/lergan_core.dir/machine.cc.o" "gcc" "src/core/CMakeFiles/lergan_core.dir/machine.cc.o.d"
+  "/root/repo/src/core/phase_report.cc" "src/core/CMakeFiles/lergan_core.dir/phase_report.cc.o" "gcc" "src/core/CMakeFiles/lergan_core.dir/phase_report.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/lergan_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/lergan_core.dir/report.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/core/CMakeFiles/lergan_core.dir/sweep.cc.o" "gcc" "src/core/CMakeFiles/lergan_core.dir/sweep.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/core/CMakeFiles/lergan_core.dir/validate.cc.o" "gcc" "src/core/CMakeFiles/lergan_core.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zfdr/CMakeFiles/lergan_zfdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/lergan_reram.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/lergan_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lergan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lergan_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lergan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lergan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lergan_core.dir/accelerator.cc.o"
+  "CMakeFiles/lergan_core.dir/accelerator.cc.o.d"
+  "CMakeFiles/lergan_core.dir/api.cc.o"
+  "CMakeFiles/lergan_core.dir/api.cc.o.d"
+  "CMakeFiles/lergan_core.dir/compiler.cc.o"
+  "CMakeFiles/lergan_core.dir/compiler.cc.o.d"
+  "CMakeFiles/lergan_core.dir/config.cc.o"
+  "CMakeFiles/lergan_core.dir/config.cc.o.d"
+  "CMakeFiles/lergan_core.dir/controller.cc.o"
+  "CMakeFiles/lergan_core.dir/controller.cc.o.d"
+  "CMakeFiles/lergan_core.dir/machine.cc.o"
+  "CMakeFiles/lergan_core.dir/machine.cc.o.d"
+  "CMakeFiles/lergan_core.dir/phase_report.cc.o"
+  "CMakeFiles/lergan_core.dir/phase_report.cc.o.d"
+  "CMakeFiles/lergan_core.dir/report.cc.o"
+  "CMakeFiles/lergan_core.dir/report.cc.o.d"
+  "CMakeFiles/lergan_core.dir/sweep.cc.o"
+  "CMakeFiles/lergan_core.dir/sweep.cc.o.d"
+  "CMakeFiles/lergan_core.dir/validate.cc.o"
+  "CMakeFiles/lergan_core.dir/validate.cc.o.d"
+  "liblergan_core.a"
+  "liblergan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lergan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/dot_export.cc" "src/interconnect/CMakeFiles/lergan_interconnect.dir/dot_export.cc.o" "gcc" "src/interconnect/CMakeFiles/lergan_interconnect.dir/dot_export.cc.o.d"
+  "/root/repo/src/interconnect/htree.cc" "src/interconnect/CMakeFiles/lergan_interconnect.dir/htree.cc.o" "gcc" "src/interconnect/CMakeFiles/lergan_interconnect.dir/htree.cc.o.d"
+  "/root/repo/src/interconnect/three_d.cc" "src/interconnect/CMakeFiles/lergan_interconnect.dir/three_d.cc.o" "gcc" "src/interconnect/CMakeFiles/lergan_interconnect.dir/three_d.cc.o.d"
+  "/root/repo/src/interconnect/topology.cc" "src/interconnect/CMakeFiles/lergan_interconnect.dir/topology.cc.o" "gcc" "src/interconnect/CMakeFiles/lergan_interconnect.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lergan_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lergan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/lergan_reram.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lergan_interconnect.dir/dot_export.cc.o"
+  "CMakeFiles/lergan_interconnect.dir/dot_export.cc.o.d"
+  "CMakeFiles/lergan_interconnect.dir/htree.cc.o"
+  "CMakeFiles/lergan_interconnect.dir/htree.cc.o.d"
+  "CMakeFiles/lergan_interconnect.dir/three_d.cc.o"
+  "CMakeFiles/lergan_interconnect.dir/three_d.cc.o.d"
+  "CMakeFiles/lergan_interconnect.dir/topology.cc.o"
+  "CMakeFiles/lergan_interconnect.dir/topology.cc.o.d"
+  "liblergan_interconnect.a"
+  "liblergan_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lergan_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv_pattern.cc" "src/nn/CMakeFiles/lergan_nn.dir/conv_pattern.cc.o" "gcc" "src/nn/CMakeFiles/lergan_nn.dir/conv_pattern.cc.o.d"
+  "/root/repo/src/nn/functional.cc" "src/nn/CMakeFiles/lergan_nn.dir/functional.cc.o" "gcc" "src/nn/CMakeFiles/lergan_nn.dir/functional.cc.o.d"
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/lergan_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/lergan_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/nn/CMakeFiles/lergan_nn.dir/model.cc.o" "gcc" "src/nn/CMakeFiles/lergan_nn.dir/model.cc.o.d"
+  "/root/repo/src/nn/parser.cc" "src/nn/CMakeFiles/lergan_nn.dir/parser.cc.o" "gcc" "src/nn/CMakeFiles/lergan_nn.dir/parser.cc.o.d"
+  "/root/repo/src/nn/summary.cc" "src/nn/CMakeFiles/lergan_nn.dir/summary.cc.o" "gcc" "src/nn/CMakeFiles/lergan_nn.dir/summary.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/lergan_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/lergan_nn.dir/tensor.cc.o.d"
+  "/root/repo/src/nn/training.cc" "src/nn/CMakeFiles/lergan_nn.dir/training.cc.o" "gcc" "src/nn/CMakeFiles/lergan_nn.dir/training.cc.o.d"
+  "/root/repo/src/nn/zero_analysis.cc" "src/nn/CMakeFiles/lergan_nn.dir/zero_analysis.cc.o" "gcc" "src/nn/CMakeFiles/lergan_nn.dir/zero_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lergan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lergan_nn.dir/conv_pattern.cc.o"
+  "CMakeFiles/lergan_nn.dir/conv_pattern.cc.o.d"
+  "CMakeFiles/lergan_nn.dir/functional.cc.o"
+  "CMakeFiles/lergan_nn.dir/functional.cc.o.d"
+  "CMakeFiles/lergan_nn.dir/layer.cc.o"
+  "CMakeFiles/lergan_nn.dir/layer.cc.o.d"
+  "CMakeFiles/lergan_nn.dir/model.cc.o"
+  "CMakeFiles/lergan_nn.dir/model.cc.o.d"
+  "CMakeFiles/lergan_nn.dir/parser.cc.o"
+  "CMakeFiles/lergan_nn.dir/parser.cc.o.d"
+  "CMakeFiles/lergan_nn.dir/summary.cc.o"
+  "CMakeFiles/lergan_nn.dir/summary.cc.o.d"
+  "CMakeFiles/lergan_nn.dir/tensor.cc.o"
+  "CMakeFiles/lergan_nn.dir/tensor.cc.o.d"
+  "CMakeFiles/lergan_nn.dir/training.cc.o"
+  "CMakeFiles/lergan_nn.dir/training.cc.o.d"
+  "CMakeFiles/lergan_nn.dir/zero_analysis.cc.o"
+  "CMakeFiles/lergan_nn.dir/zero_analysis.cc.o.d"
+  "liblergan_nn.a"
+  "liblergan_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lergan_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reram/allocator.cc" "src/reram/CMakeFiles/lergan_reram.dir/allocator.cc.o" "gcc" "src/reram/CMakeFiles/lergan_reram.dir/allocator.cc.o.d"
+  "/root/repo/src/reram/crossbar.cc" "src/reram/CMakeFiles/lergan_reram.dir/crossbar.cc.o" "gcc" "src/reram/CMakeFiles/lergan_reram.dir/crossbar.cc.o.d"
+  "/root/repo/src/reram/endurance.cc" "src/reram/CMakeFiles/lergan_reram.dir/endurance.cc.o" "gcc" "src/reram/CMakeFiles/lergan_reram.dir/endurance.cc.o.d"
+  "/root/repo/src/reram/params_io.cc" "src/reram/CMakeFiles/lergan_reram.dir/params_io.cc.o" "gcc" "src/reram/CMakeFiles/lergan_reram.dir/params_io.cc.o.d"
+  "/root/repo/src/reram/tile.cc" "src/reram/CMakeFiles/lergan_reram.dir/tile.cc.o" "gcc" "src/reram/CMakeFiles/lergan_reram.dir/tile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lergan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lergan_reram.dir/allocator.cc.o"
+  "CMakeFiles/lergan_reram.dir/allocator.cc.o.d"
+  "CMakeFiles/lergan_reram.dir/crossbar.cc.o"
+  "CMakeFiles/lergan_reram.dir/crossbar.cc.o.d"
+  "CMakeFiles/lergan_reram.dir/endurance.cc.o"
+  "CMakeFiles/lergan_reram.dir/endurance.cc.o.d"
+  "CMakeFiles/lergan_reram.dir/params_io.cc.o"
+  "CMakeFiles/lergan_reram.dir/params_io.cc.o.d"
+  "CMakeFiles/lergan_reram.dir/tile.cc.o"
+  "CMakeFiles/lergan_reram.dir/tile.cc.o.d"
+  "liblergan_reram.a"
+  "liblergan_reram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lergan_reram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblergan_reram.a"
+)

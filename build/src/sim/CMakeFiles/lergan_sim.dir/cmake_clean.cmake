@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lergan_sim.dir/event_queue.cc.o"
+  "CMakeFiles/lergan_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/lergan_sim.dir/task_graph.cc.o"
+  "CMakeFiles/lergan_sim.dir/task_graph.cc.o.d"
+  "CMakeFiles/lergan_sim.dir/trace.cc.o"
+  "CMakeFiles/lergan_sim.dir/trace.cc.o.d"
+  "CMakeFiles/lergan_sim.dir/utilization.cc.o"
+  "CMakeFiles/lergan_sim.dir/utilization.cc.o.d"
+  "liblergan_sim.a"
+  "liblergan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lergan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

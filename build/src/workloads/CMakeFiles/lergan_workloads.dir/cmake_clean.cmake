@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lergan_workloads.dir/zoo.cc.o"
+  "CMakeFiles/lergan_workloads.dir/zoo.cc.o.d"
+  "liblergan_workloads.a"
+  "liblergan_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lergan_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

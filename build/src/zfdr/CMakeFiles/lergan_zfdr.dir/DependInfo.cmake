@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zfdr/cost.cc" "src/zfdr/CMakeFiles/lergan_zfdr.dir/cost.cc.o" "gcc" "src/zfdr/CMakeFiles/lergan_zfdr.dir/cost.cc.o.d"
+  "/root/repo/src/zfdr/formulas.cc" "src/zfdr/CMakeFiles/lergan_zfdr.dir/formulas.cc.o" "gcc" "src/zfdr/CMakeFiles/lergan_zfdr.dir/formulas.cc.o.d"
+  "/root/repo/src/zfdr/functional.cc" "src/zfdr/CMakeFiles/lergan_zfdr.dir/functional.cc.o" "gcc" "src/zfdr/CMakeFiles/lergan_zfdr.dir/functional.cc.o.d"
+  "/root/repo/src/zfdr/functional_gan.cc" "src/zfdr/CMakeFiles/lergan_zfdr.dir/functional_gan.cc.o" "gcc" "src/zfdr/CMakeFiles/lergan_zfdr.dir/functional_gan.cc.o.d"
+  "/root/repo/src/zfdr/replica.cc" "src/zfdr/CMakeFiles/lergan_zfdr.dir/replica.cc.o" "gcc" "src/zfdr/CMakeFiles/lergan_zfdr.dir/replica.cc.o.d"
+  "/root/repo/src/zfdr/reshape.cc" "src/zfdr/CMakeFiles/lergan_zfdr.dir/reshape.cc.o" "gcc" "src/zfdr/CMakeFiles/lergan_zfdr.dir/reshape.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/lergan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lergan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

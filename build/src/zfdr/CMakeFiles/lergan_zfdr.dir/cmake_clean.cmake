@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lergan_zfdr.dir/cost.cc.o"
+  "CMakeFiles/lergan_zfdr.dir/cost.cc.o.d"
+  "CMakeFiles/lergan_zfdr.dir/formulas.cc.o"
+  "CMakeFiles/lergan_zfdr.dir/formulas.cc.o.d"
+  "CMakeFiles/lergan_zfdr.dir/functional.cc.o"
+  "CMakeFiles/lergan_zfdr.dir/functional.cc.o.d"
+  "CMakeFiles/lergan_zfdr.dir/functional_gan.cc.o"
+  "CMakeFiles/lergan_zfdr.dir/functional_gan.cc.o.d"
+  "CMakeFiles/lergan_zfdr.dir/replica.cc.o"
+  "CMakeFiles/lergan_zfdr.dir/replica.cc.o.d"
+  "CMakeFiles/lergan_zfdr.dir/reshape.cc.o"
+  "CMakeFiles/lergan_zfdr.dir/reshape.cc.o.d"
+  "liblergan_zfdr.a"
+  "liblergan_zfdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lergan_zfdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

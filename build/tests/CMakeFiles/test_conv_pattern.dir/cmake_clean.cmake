@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_pattern.dir/test_conv_pattern.cc.o"
+  "CMakeFiles/test_conv_pattern.dir/test_conv_pattern.cc.o.d"
+  "test_conv_pattern"
+  "test_conv_pattern.pdb"
+  "test_conv_pattern[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

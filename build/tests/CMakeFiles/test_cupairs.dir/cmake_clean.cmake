@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cupairs.dir/test_cupairs.cc.o"
+  "CMakeFiles/test_cupairs.dir/test_cupairs.cc.o.d"
+  "test_cupairs"
+  "test_cupairs.pdb"
+  "test_cupairs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cupairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/test_extensions.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_extensions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lergan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfdr/CMakeFiles/lergan_zfdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/interconnect/CMakeFiles/lergan_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/reram/CMakeFiles/lergan_reram.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lergan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lergan_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lergan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lergan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_functional_gan.cc" "tests/CMakeFiles/test_functional_gan.dir/test_functional_gan.cc.o" "gcc" "tests/CMakeFiles/test_functional_gan.dir/test_functional_gan.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zfdr/CMakeFiles/lergan_zfdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/lergan_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/lergan_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lergan_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional_gan.dir/test_functional_gan.cc.o"
+  "CMakeFiles/test_functional_gan.dir/test_functional_gan.cc.o.d"
+  "test_functional_gan"
+  "test_functional_gan.pdb"
+  "test_functional_gan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional_gan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_json_trace.dir/test_json_trace.cc.o"
+  "CMakeFiles/test_json_trace.dir/test_json_trace.cc.o.d"
+  "test_json_trace"
+  "test_json_trace.pdb"
+  "test_json_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_json_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

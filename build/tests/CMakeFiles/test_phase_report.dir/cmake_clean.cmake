@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_report.dir/test_phase_report.cc.o"
+  "CMakeFiles/test_phase_report.dir/test_phase_report.cc.o.d"
+  "test_phase_report"
+  "test_phase_report.pdb"
+  "test_phase_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

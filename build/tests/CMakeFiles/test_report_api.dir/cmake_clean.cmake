@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_api.dir/test_report_api.cc.o"
+  "CMakeFiles/test_report_api.dir/test_report_api.cc.o.d"
+  "test_report_api"
+  "test_report_api.pdb"
+  "test_report_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zero_analysis.dir/test_zero_analysis.cc.o"
+  "CMakeFiles/test_zero_analysis.dir/test_zero_analysis.cc.o.d"
+  "test_zero_analysis"
+  "test_zero_analysis.pdb"
+  "test_zero_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zero_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

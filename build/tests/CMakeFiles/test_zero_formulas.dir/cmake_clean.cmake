@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zero_formulas.dir/test_zero_formulas.cc.o"
+  "CMakeFiles/test_zero_formulas.dir/test_zero_formulas.cc.o.d"
+  "test_zero_formulas"
+  "test_zero_formulas.pdb"
+  "test_zero_formulas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zero_formulas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zfdr.dir/test_zfdr.cc.o"
+  "CMakeFiles/test_zfdr.dir/test_zfdr.cc.o.d"
+  "test_zfdr"
+  "test_zfdr.pdb"
+  "test_zfdr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zfdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
