@@ -7,10 +7,12 @@
  * crossbar time-sharing) but layer blocks on different pairs exchange
  * their activations over the narrow inter-pair links — for mid-size
  * GANs the crossing cost wins, while capacity-starved volumetric GANs
- * see the pressure drop. The bench prints both effects.
+ * see the pressure drop. The bench prints both effects; the 2x3 grid
+ * runs through the parallel sweep engine.
  */
 
 #include "bench_util.hh"
+#include "core/sweep.hh"
 
 int
 main()
@@ -20,25 +22,31 @@ main()
     banner("Ablation: CU-pair scaling",
            "extension of Sec. IV-B's multi-3DCU mapping");
 
+    ExperimentSweep sweep;
+    sweep.addBenchmark(makeBenchmark("DCGAN"))
+        .addBenchmark(makeBenchmark("3D-GAN"));
+    for (int pairs : {1, 2, 4}) {
+        AcceleratorConfig config =
+            AcceleratorConfig::lerGan(ReplicaDegree::High);
+        config.cuPairs = pairs;
+        sweep.addConfig("pairs=" + std::to_string(pairs), config);
+    }
+
+    RunOptions options;
+    options.threads = 0; // one worker per hardware thread
+    const auto results = sweep.run(options);
+
     TextTable table({"benchmark", "pairs", "ms/iter", "oversubscribed "
                                                       "xbars",
                      "crossbars used", "mJ/iter"});
-    for (const char *name : {"DCGAN", "3D-GAN"}) {
-        const GanModel model = makeBenchmark(name);
-        for (int pairs : {1, 2, 4}) {
-            AcceleratorConfig config =
-                AcceleratorConfig::lerGan(ReplicaDegree::High);
-            config.cuPairs = pairs;
-            LerGanAccelerator accelerator(model, config);
-            const TrainingReport report = accelerator.trainIteration();
-            table.addRow(
-                {model.name, std::to_string(pairs),
-                 TextTable::num(report.timeMs(), 2),
-                 std::to_string(
-                     accelerator.compiled().oversubscribedCrossbars),
-                 std::to_string(report.crossbarsUsed),
-                 TextTable::num(pjToMj(report.totalEnergyPj()), 1)});
-        }
+    for (const SweepResult &result : results) {
+        table.addRow(
+            {result.benchmark,
+             result.configLabel.substr(std::string("pairs=").size()),
+             TextTable::num(result.report.timeMs(), 2),
+             std::to_string(result.oversubscribed),
+             std::to_string(result.crossbarsUsed),
+             TextTable::num(pjToMj(result.report.totalEnergyPj()), 1)});
     }
     table.print(std::cout);
     std::cout << "\nReading guide: oversubscribed crossbars time-share "

@@ -13,6 +13,7 @@
 
 #include "common/args.hh"
 #include "core/sweep.hh"
+#include "core/sweep_io.hh"
 #include "workloads/zoo.hh"
 
 int
@@ -24,24 +25,30 @@ main(int argc, char **argv)
     args.addOption("json", "JSON output path", "lergan_results.json");
     args.addOption("csv", "CSV output path", "lergan_results.csv");
     args.addOption("iterations", "iterations per point", "1");
+    args.addOption("threads",
+                   "sweep workers (0 = one per hardware thread)", "0");
     args.parse(argc, argv, "export the evaluation grid for plotting");
 
     ExperimentSweep sweep;
     for (const GanModel &model : allBenchmarks())
-        sweep.add(model);
-    sweep.add("lergan-low", AcceleratorConfig::lerGan(ReplicaDegree::Low));
-    sweep.add("lergan-middle",
-              AcceleratorConfig::lerGan(ReplicaDegree::Middle));
-    sweep.add("lergan-high",
-              AcceleratorConfig::lerGan(ReplicaDegree::High));
-    sweep.add("prime", AcceleratorConfig::prime());
+        sweep.addBenchmark(model);
+    sweep.addConfig("lergan-low",
+                    AcceleratorConfig::lerGan(ReplicaDegree::Low));
+    sweep.addConfig("lergan-middle",
+                    AcceleratorConfig::lerGan(ReplicaDegree::Middle));
+    sweep.addConfig("lergan-high",
+                    AcceleratorConfig::lerGan(ReplicaDegree::High));
+    sweep.addConfig("prime", AcceleratorConfig::prime());
 
-    const auto results = sweep.run(args.getInt("iterations"));
+    RunOptions options;
+    options.threads = args.getInt("threads");
+    options.iterations = args.getInt("iterations");
+    const auto results = sweep.run(options);
 
     std::ofstream json(args.get("json"));
-    ExperimentSweep::writeJson(json, results);
+    writeSweepJson(json, results);
     std::ofstream csv(args.get("csv"));
-    ExperimentSweep::writeCsv(csv, results);
+    writeSweepCsv(csv, results);
 
     std::cout << "wrote " << results.size() << " points to "
               << args.get("json") << " and " << args.get("csv") << "\n";

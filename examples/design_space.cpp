@@ -5,9 +5,13 @@
  * Prints a time/energy/space table so the trade-offs (and the Pareto
  * frontier) are visible in one place.
  *
+ * The eight points execute on the parallel sweep engine with a live
+ * progress line — the pattern to copy for larger design-space scans.
+ *
  * Usage:
  *   ./build/examples/design_space
  *   ./build/examples/design_space --benchmark GPGAN --iterations 10
+ *   ./build/examples/design_space --threads 1        # sequential
  */
 
 #include <iostream>
@@ -15,6 +19,7 @@
 #include "common/args.hh"
 #include "common/table.hh"
 #include "core/api.hh"
+#include "core/sweep.hh"
 
 int
 main(int argc, char **argv)
@@ -24,6 +29,8 @@ main(int argc, char **argv)
     ArgParser args;
     args.addOption("benchmark", "Table V benchmark name", "DCGAN");
     args.addOption("iterations", "training iterations to simulate", "1");
+    args.addOption("threads",
+                   "sweep workers (0 = one per hardware thread)", "0");
     args.parse(argc, argv, "sweep connection x reshape x duplication");
 
     const GanModel model = makeBenchmark(args.get("benchmark"));
@@ -55,27 +62,40 @@ main(int argc, char **argv)
          ReplicaDegree::High},
     };
 
-    TextTable table({"configuration", "ms/iter", "mJ/iter", "crossbars",
-                     "speedup", "energy saving"});
-    double base_time = 0, base_energy = 0;
+    ExperimentSweep sweep;
+    sweep.addBenchmark(model);
     for (const Point &point : points) {
         AcceleratorConfig config;
         config.connection = point.connection;
         config.reshape = point.reshape;
         config.duplicate = point.duplicate;
         config.degree = point.degree;
-        const TrainingReport report =
-            simulateTraining(model, config, iterations);
-        if (base_time == 0) {
-            base_time = report.timeMs();
-            base_energy = report.totalEnergyPj();
-        }
-        table.addRow({point.name, TextTable::num(report.timeMs(), 2),
-                      TextTable::num(pjToMj(report.totalEnergyPj()), 1),
-                      std::to_string(report.crossbarsUsed),
-                      TextTable::num(base_time / report.timeMs()) + "x",
+        sweep.addConfig(point.name, config);
+    }
+
+    RunOptions options;
+    options.threads = args.getInt("threads");
+    options.iterations = iterations;
+    options.onProgress = [&](std::size_t done, std::size_t total) {
+        std::cerr << "\rsimulated " << done << "/" << total << " points"
+                  << (done == total ? "\n" : "") << std::flush;
+    };
+    const std::vector<SweepResult> results = sweep.run(options);
+
+    TextTable table({"configuration", "ms/iter", "mJ/iter", "crossbars",
+                     "speedup", "energy saving"});
+    const double base_time = results.front().report.timeMs();
+    const double base_energy = results.front().report.totalEnergyPj();
+    for (const SweepResult &result : results) {
+        table.addRow({result.configLabel,
+                      TextTable::num(result.report.timeMs(), 2),
+                      TextTable::num(
+                          pjToMj(result.report.totalEnergyPj()), 1),
+                      std::to_string(result.crossbarsUsed),
+                      TextTable::num(base_time / result.report.timeMs()) +
+                          "x",
                       TextTable::num(base_energy /
-                                     report.totalEnergyPj()) +
+                                     result.report.totalEnergyPj()) +
                           "x"});
     }
 

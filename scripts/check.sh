@@ -1,0 +1,41 @@
+#!/bin/sh
+# Full verification: plain build + complete test suite, then a
+# ThreadSanitizer build of the execution-engine tests (ctest label
+# `tsan`). Run from anywhere; builds land in build/ and build-tsan/.
+#
+# Usage: scripts/check.sh [jobs]
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=${1:-$(nproc 2>/dev/null || echo 2)}
+
+echo "== plain build + full test suite =="
+cmake -B "$root/build" -S "$root" >/dev/null
+cmake --build "$root/build" -j "$jobs"
+ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+
+# The exec tests exercise the worker pool and the compile cache under
+# real concurrency; TSan is the check that the "shared immutable
+# compiled model, per-worker mutable state" contract actually holds.
+echo "== ThreadSanitizer availability probe =="
+probe_dir=$(mktemp -d)
+trap 'rm -rf "$probe_dir"' EXIT
+cat >"$probe_dir/probe.cc" <<'EOF'
+#include <thread>
+int main() { std::thread([] {}).join(); }
+EOF
+if c++ -std=c++20 -fsanitize=thread "$probe_dir/probe.cc" \
+        -o "$probe_dir/probe" 2>/dev/null && "$probe_dir/probe"; then
+    echo "== TSan build of the exec tests (ctest -L tsan) =="
+    cmake -B "$root/build-tsan" -S "$root" \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCMAKE_CXX_FLAGS="-fsanitize=thread" >/dev/null
+    cmake --build "$root/build-tsan" -j "$jobs" --target test_exec
+    ctest --test-dir "$root/build-tsan" -L tsan --output-on-failure \
+        -j "$jobs"
+else
+    echo "ThreadSanitizer unavailable on this toolchain; skipping the" \
+         "tsan-labelled tests (plain suite already ran)."
+fi
+
+echo "== all checks passed =="

@@ -526,16 +526,19 @@ class IterationBuilder
 
 } // namespace
 
-LerGanAccelerator::LerGanAccelerator(const GanModel &model,
-                                     AcceleratorConfig config)
+LerGanAccelerator::LerGanAccelerator(
+    const GanModel &model, AcceleratorConfig config,
+    std::shared_ptr<const CompiledGan> compiled)
     : model_(model), config_(std::move(config)),
-      compiled_(compileGan(model_, config_)), machine_(config_),
-      controller_(config_.reram, config_.cuPairs),
+      compiled_(compiled ? std::move(compiled)
+                         : std::make_shared<const CompiledGan>(
+                               compileGan(model_, config_))),
+      machine_(config_), controller_(config_.reram, config_.cuPairs),
       tileModel_(config_.reram),
       cpuRes_(machine_.pool().create("host.cpu"))
 {
     const ValidationResult validation =
-        validateMapping(model_, config_, compiled_);
+        validateMapping(model_, config_, *compiled_);
     LERGAN_ASSERT(validation.ok(), "invalid mapping for ", model_.name,
                   " on ", config_.label(), ": ",
                   validation.violations.empty()
@@ -574,7 +577,7 @@ LerGanAccelerator::trainIterationImpl(Tracer *tracer)
     machine_.resetResources();
     controller_.reset();
 
-    IterationBuilder builder(model_, config_, compiled_, machine_,
+    IterationBuilder builder(model_, config_, *compiled_, machine_,
                              controller_, tileModel_, cpuRes_);
     builder.build();
 
@@ -586,9 +589,9 @@ LerGanAccelerator::trainIterationImpl(Tracer *tracer)
     report.iterationTime = exec.makespan;
     report.stats = builder.energy;
     report.stats.merge(exec.stats);
-    report.crossbarsUsed = compiled_.crossbarsUsed;
-    report.compileMs = compiled_.compileMs;
-    report.compileMsTraditional = compiled_.compileMsTraditional;
+    report.crossbarsUsed = compiled_->crossbarsUsed;
+    report.compileMs = compiled_->compileMs;
+    report.compileMsTraditional = compiled_->compileMsTraditional;
     return report;
 }
 

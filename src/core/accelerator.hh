@@ -15,6 +15,8 @@
 #ifndef LERGAN_CORE_ACCELERATOR_HH
 #define LERGAN_CORE_ACCELERATOR_HH
 
+#include <memory>
+
 #include "core/compiler.hh"
 #include "core/controller.hh"
 #include "core/machine.hh"
@@ -28,7 +30,18 @@ namespace lergan {
 class LerGanAccelerator
 {
   public:
-    LerGanAccelerator(const GanModel &model, AcceleratorConfig config);
+    /**
+     * Compile @p model for @p config and get ready to simulate. Pass a
+     * cached @p compiled (e.g. from a CompiledModelCache) to skip the
+     * compile; it must be the result of compileGan(model, config).
+     *
+     * The compiled mapping is immutable and may be shared by several
+     * accelerators simulating concurrently on different threads; all
+     * mutable simulation state (machine, resources, controller, route
+     * cache) is per-accelerator.
+     */
+    LerGanAccelerator(const GanModel &model, AcceleratorConfig config,
+                      std::shared_ptr<const CompiledGan> compiled = nullptr);
 
     /** Simulate one full training iteration. */
     TrainingReport trainIteration();
@@ -50,7 +63,7 @@ class LerGanAccelerator
      */
     TrainingReport trainIterations(int n);
 
-    const CompiledGan &compiled() const { return compiled_; }
+    const CompiledGan &compiled() const { return *compiled_; }
     const GanModel &model() const { return model_; }
     const AcceleratorConfig &config() const { return config_; }
     Machine &machine() { return machine_; }
@@ -61,7 +74,7 @@ class LerGanAccelerator
 
     GanModel model_;
     AcceleratorConfig config_;
-    CompiledGan compiled_;
+    std::shared_ptr<const CompiledGan> compiled_;
     Machine machine_;
     MemoryController controller_;
     TileModel tileModel_;

@@ -2,12 +2,33 @@
 
 namespace lergan {
 
+SimulationSession::SimulationSession(AcceleratorConfig config)
+    : SimulationSession(std::move(config),
+                        std::make_shared<CompiledModelCache>())
+{
+}
+
+SimulationSession::SimulationSession(
+    AcceleratorConfig config, std::shared_ptr<CompiledModelCache> cache)
+    : config_(std::move(config)), cache_(std::move(cache))
+{
+}
+
+TrainingReport
+SimulationSession::run(const GanModel &model, int iterations) const
+{
+    config_.checkUsable();
+    std::shared_ptr<const CompiledGan> compiled =
+        cache_->get(model, config_, compileGan);
+    LerGanAccelerator accelerator(model, config_, std::move(compiled));
+    return accelerator.trainIterations(iterations);
+}
+
 TrainingReport
 simulateTraining(const GanModel &model, const AcceleratorConfig &config,
                  int iterations)
 {
-    LerGanAccelerator accelerator(model, config);
-    return accelerator.trainIterations(iterations);
+    return SimulationSession(config).run(model, iterations);
 }
 
 } // namespace lergan

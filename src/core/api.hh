@@ -3,26 +3,40 @@
  * Public umbrella API.
  *
  * Downstream users include this single header to parse or pick a GAN,
- * choose a configuration and simulate training:
+ * choose a configuration and simulate training. The primary entry point
+ * is the session: construct it once per configuration, then run any
+ * number of models — each distinct (model, config) pair is compiled
+ * exactly once and the immutable compiled mapping is reused by every
+ * subsequent run:
  *
  * @code
  *   #include "core/api.hh"
  *   using namespace lergan;
  *
+ *   SimulationSession session(
+ *       AcceleratorConfig::lerGan(ReplicaDegree::Low));
  *   GanModel dcgan = makeBenchmark("DCGAN");
- *   AcceleratorConfig cfg = AcceleratorConfig::lerGan(ReplicaDegree::Low);
- *   TrainingReport report = simulateTraining(dcgan, cfg, 10);
+ *   TrainingReport report = session.run(dcgan, 10); // compiles DCGAN
  *   report.print(std::cout);
+ *   session.run(dcgan);                             // cache hit
  * @endcode
+ *
+ * Grids of (benchmark x configuration) points run through
+ * ExperimentSweep (core/sweep.hh), which executes points in parallel
+ * under RunOptions{threads, iterations, onProgress}.
  */
 
 #ifndef LERGAN_CORE_API_HH
 #define LERGAN_CORE_API_HH
 
+#include <cstdint>
+#include <memory>
+
 #include "core/accelerator.hh"
 #include "core/compiler.hh"
 #include "core/config.hh"
 #include "core/report.hh"
+#include "exec/model_cache.hh"
 #include "nn/parser.hh"
 #include "nn/zero_analysis.hh"
 #include "workloads/zoo.hh"
@@ -30,8 +44,60 @@
 namespace lergan {
 
 /**
+ * A reusable simulation context for one accelerator configuration.
+ *
+ * The session owns (or shares) a CompiledModelCache: run() compiles a
+ * given model at most once and reuses the cached mapping afterwards,
+ * which is what makes repeated runs — convergence studies, parameter
+ * explorations, serving many queries against the same configuration —
+ * pay the compile cost once instead of per call.
+ *
+ * Thread safety: run() may be called concurrently from several threads;
+ * the cache serializes compilation per (model, config) pair and every
+ * run simulates on its own private machine state.
+ *
+ * User errors (an unusable configuration, see
+ * AcceleratorConfig::checkUsable) surface as std::invalid_argument;
+ * internal invariant violations still panic.
+ */
+class SimulationSession
+{
+  public:
+    /** Session with a private compiled-model cache. */
+    explicit SimulationSession(AcceleratorConfig config);
+
+    /** Session sharing @p cache with other sessions or sweeps. */
+    SimulationSession(AcceleratorConfig config,
+                      std::shared_ptr<CompiledModelCache> cache);
+
+    /** Simulate @p iterations training iterations of @p model. */
+    TrainingReport run(const GanModel &model, int iterations = 1) const;
+
+    const AcceleratorConfig &config() const { return config_; }
+
+    /** @name Compile-cache observability (exact counters) */
+    ///@{
+    std::uint64_t cacheHits() const { return cache_->hits(); }
+    std::uint64_t cacheMisses() const { return cache_->misses(); }
+    const std::shared_ptr<CompiledModelCache> &cache() const
+    {
+        return cache_;
+    }
+    ///@}
+
+  private:
+    AcceleratorConfig config_;
+    std::shared_ptr<CompiledModelCache> cache_;
+};
+
+/**
  * Convenience one-shot: compile @p model for @p config and simulate
  * @p iterations training iterations.
+ *
+ * @deprecated Thin forwarding wrapper kept for existing callers; it
+ * constructs a throwaway session per call, so repeated invocations
+ * recompile the model every time. New code should hold a
+ * SimulationSession (or an ExperimentSweep for grids) instead.
  */
 TrainingReport simulateTraining(const GanModel &model,
                                 const AcceleratorConfig &config,

@@ -1,5 +1,7 @@
 #include "core/config.hh"
 
+#include <stdexcept>
+
 namespace lergan {
 
 const char *
@@ -19,6 +21,21 @@ AcceleratorConfig::degreeFor(Phase phase) const
 {
     auto it = phaseDegrees.find(phase);
     return it == phaseDegrees.end() ? degree : it->second;
+}
+
+void
+AcceleratorConfig::checkUsable() const
+{
+    if (batchSize <= 0)
+        throw std::invalid_argument(
+            "batchSize must be positive, got " +
+            std::to_string(batchSize));
+    if (cuPairs <= 0)
+        throw std::invalid_argument("cuPairs must be positive, got " +
+                                    std::to_string(cuPairs));
+    if (normalizedSpace && spaceBudgetCrossbars == 0)
+        throw std::invalid_argument(
+            "normalizedSpace needs a spaceBudgetCrossbars budget");
 }
 
 std::string

@@ -94,6 +94,15 @@ struct AcceleratorConfig {
     /** Effective duplication degree for @p phase. */
     ReplicaDegree degreeFor(Phase phase) const;
 
+    /**
+     * Throw std::invalid_argument for unusable user-provided values
+     * (non-positive batch size or CU-pair count, a normalized-space
+     * request without a budget). Sessions and sweeps call this at the
+     * API boundary so a bad configuration fails its own experiment
+     * point instead of panicking the whole process.
+     */
+    void checkUsable() const;
+
     /** Short label for reports ("3D+ZFDR(low)"). */
     std::string label() const;
 

@@ -1,89 +1,103 @@
 #include "core/sweep.hh"
 
-#include "common/json.hh"
 #include "common/logging.hh"
 
 namespace lergan {
 
+ExperimentSweep::ExperimentSweep()
+    : cache_(std::make_shared<CompiledModelCache>())
+{
+}
+
 ExperimentSweep &
-ExperimentSweep::add(const GanModel &model)
+ExperimentSweep::addBenchmark(const GanModel &model)
 {
     models_.push_back(model);
     return *this;
 }
 
 ExperimentSweep &
-ExperimentSweep::add(const std::string &label,
-                     const AcceleratorConfig &config)
+ExperimentSweep::addConfig(const std::string &label,
+                           const AcceleratorConfig &config)
 {
     configs_.emplace_back(label, config);
     return *this;
 }
 
-std::vector<SweepResult>
-ExperimentSweep::run(int iterations) const
+ExperimentSweep &
+ExperimentSweep::addPoint(const GanModel &model, const std::string &label,
+                          const AcceleratorConfig &config)
 {
-    LERGAN_ASSERT(!models_.empty() && !configs_.empty(),
+    extraPoints_.push_back({model, label, config});
+    return *this;
+}
+
+std::size_t
+ExperimentSweep::pointCount() const
+{
+    return models_.size() * configs_.size() + extraPoints_.size();
+}
+
+std::vector<SweepResult>
+ExperimentSweep::run(const RunOptions &options) const
+{
+    struct Point {
+        const GanModel *model;
+        const std::string *label;
+        const AcceleratorConfig *config;
+    };
+    std::vector<Point> points;
+    points.reserve(pointCount());
+    for (const GanModel &model : models_)
+        for (const auto &[label, config] : configs_)
+            points.push_back({&model, &label, &config});
+    for (const ExplicitPoint &extra : extraPoints_)
+        points.push_back({&extra.model, &extra.label, &extra.config});
+    LERGAN_ASSERT(!points.empty(),
                   "sweep needs at least one benchmark and one config");
-    std::vector<SweepResult> results;
-    results.reserve(models_.size() * configs_.size());
-    for (const GanModel &model : models_) {
-        for (const auto &[label, config] : configs_) {
-            LerGanAccelerator accelerator(model, config);
-            SweepResult result;
-            result.benchmark = model.name;
-            result.configLabel = label;
-            result.report = accelerator.trainIterations(iterations);
+    LERGAN_ASSERT(options.iterations > 0, "need at least one iteration");
+    LERGAN_ASSERT(options.threads >= 0,
+                  "threads must be >= 0 (0 = hardware concurrency)");
+
+    std::vector<SweepResult> results(points.size());
+    const auto statuses = runPoints(
+        points.size(), static_cast<unsigned>(options.threads),
+        [&](std::size_t i) {
+            const Point &point = points[i];
+            point.config->checkUsable();
+            std::shared_ptr<const CompiledGan> compiled =
+                cache_->get(*point.model, *point.config, compileGan);
+            LerGanAccelerator accelerator(*point.model, *point.config,
+                                          std::move(compiled));
+            SweepResult &result = results[i];
+            result.report =
+                accelerator.trainIterations(options.iterations);
             result.crossbarsUsed = accelerator.compiled().crossbarsUsed;
             result.oversubscribed =
                 accelerator.compiled().oversubscribedCrossbars;
-            results.push_back(std::move(result));
+        },
+        options.onProgress);
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        SweepResult &result = results[i];
+        if (!statuses[i].ok) {
+            // Discard anything a partially-run body left behind.
+            result = SweepResult{};
+            result.failed = true;
+            result.error = statuses[i].error;
         }
+        result.benchmark = points[i].model->name;
+        result.configLabel = *points[i].label;
     }
     return results;
 }
 
-void
-ExperimentSweep::writeJson(std::ostream &os,
-                           const std::vector<SweepResult> &results)
+std::vector<SweepResult>
+ExperimentSweep::run(int iterations) const
 {
-    JsonWriter json(os);
-    json.beginArray();
-    for (const SweepResult &result : results) {
-        json.beginObject();
-        json.key("benchmark").value(result.benchmark);
-        json.key("config").value(result.configLabel);
-        json.key("ms_per_iteration").value(result.report.timeMs());
-        json.key("mj_per_iteration")
-            .value(pjToMj(result.report.totalEnergyPj()));
-        json.key("crossbars").value(result.crossbarsUsed);
-        json.key("oversubscribed").value(result.oversubscribed);
-        json.key("stats").beginObject();
-        for (const auto &[name, value] : result.report.stats)
-            json.key(name).value(value);
-        json.endObject();
-        json.endObject();
-    }
-    json.endArray();
-    os << '\n';
-}
-
-void
-ExperimentSweep::writeCsv(std::ostream &os,
-                          const std::vector<SweepResult> &results)
-{
-    os << "benchmark,config,ms_per_iteration,mj_per_iteration,"
-          "crossbars,oversubscribed,energy_compute_pj,energy_comm_pj,"
-          "energy_update_pj\n";
-    for (const SweepResult &result : results) {
-        os << result.benchmark << ',' << result.configLabel << ','
-           << result.report.timeMs() << ','
-           << pjToMj(result.report.totalEnergyPj()) << ','
-           << result.crossbarsUsed << ',' << result.oversubscribed << ','
-           << result.report.computeEnergyPj() << ','
-           << result.report.commEnergyPj() << ','
-           << result.report.stats.get("energy.update") << '\n';
-    }
+    RunOptions options;
+    options.iterations = iterations;
+    return run(options);
 }
 
 } // namespace lergan

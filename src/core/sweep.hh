@@ -5,17 +5,27 @@
  *
  * The figure benches print human-readable tables; this library is the
  * programmatic counterpart — downstream users compose their own
- * comparisons and get JSON/CSV out.
+ * comparisons and get JSON/CSV out (core/sweep_io.hh).
+ *
+ * Points execute on a worker pool (RunOptions::threads) with the
+ * compiled mapping of every (model, config) pair cached across run()
+ * calls. Results are always ordered benchmark-major regardless of which
+ * worker finishes first, and a point that throws is reported as a
+ * failed SweepResult instead of aborting the grid, so a 1-thread and an
+ * N-thread run of the same grid export byte-identical JSON/CSV.
  */
 
 #ifndef LERGAN_CORE_SWEEP_HH
 #define LERGAN_CORE_SWEEP_HH
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/accelerator.hh"
+#include "exec/engine.hh"
+#include "exec/model_cache.hh"
 
 namespace lergan {
 
@@ -26,33 +36,88 @@ struct SweepResult {
     TrainingReport report;
     std::uint64_t crossbarsUsed = 0;
     std::uint64_t oversubscribed = 0;
+    /** True when this point threw instead of producing a report. */
+    bool failed = false;
+    /** Exception message of a failed point. */
+    std::string error;
 };
 
-/** A grid of benchmarks x configurations. */
+/** A grid of benchmarks x configurations (plus explicit extra points). */
 class ExperimentSweep
 {
   public:
+    ExperimentSweep();
+
     /** Add a benchmark model to the grid. */
-    ExperimentSweep &add(const GanModel &model);
+    ExperimentSweep &addBenchmark(const GanModel &model);
 
     /** Add a configuration (with a display label) to the grid. */
-    ExperimentSweep &add(const std::string &label,
-                         const AcceleratorConfig &config);
+    ExperimentSweep &addConfig(const std::string &label,
+                               const AcceleratorConfig &config);
 
-    /** Simulate every point; results are ordered benchmark-major. */
+    /**
+     * Add one explicit (model, config) point outside the grid — for
+     * per-benchmark configurations like the normalized-space variants,
+     * whose crossbar budget depends on the model. Explicit points run
+     * after the grid, in insertion order.
+     */
+    ExperimentSweep &addPoint(const GanModel &model,
+                              const std::string &label,
+                              const AcceleratorConfig &config);
+
+    /** @name Legacy overloaded builders (forward to the named ones) */
+    ///@{
+    ExperimentSweep &
+    add(const GanModel &model)
+    {
+        return addBenchmark(model);
+    }
+    ExperimentSweep &
+    add(const std::string &label, const AcceleratorConfig &config)
+    {
+        return addConfig(label, config);
+    }
+    ///@}
+
+    /**
+     * Simulate every point under @p options; results are ordered
+     * benchmark-major (then explicit points in insertion order)
+     * regardless of completion order. A throwing point yields a failed
+     * SweepResult; the other points are unaffected.
+     */
+    std::vector<SweepResult> run(const RunOptions &options) const;
+
+    /** Sequential convenience: run(RunOptions{1, iterations}). */
     std::vector<SweepResult> run(int iterations = 1) const;
 
-    /** Write results as a JSON array of objects. */
+    /** Total experiment points the next run() will execute. */
+    std::size_t pointCount() const;
+
+    /**
+     * The compiled-model cache shared by every run() of this sweep
+     * (exact hit/miss counters; a repeated run recompiles nothing).
+     */
+    CompiledModelCache &cache() const { return *cache_; }
+
+    /** @name Legacy exporters (forward to core/sweep_io.hh) */
+    ///@{
     static void writeJson(std::ostream &os,
                           const std::vector<SweepResult> &results);
-
-    /** Write results as CSV (one row per point, stats flattened). */
     static void writeCsv(std::ostream &os,
                          const std::vector<SweepResult> &results);
+    ///@}
 
   private:
+    struct ExplicitPoint {
+        GanModel model;
+        std::string label;
+        AcceleratorConfig config;
+    };
+
     std::vector<GanModel> models_;
     std::vector<std::pair<std::string, AcceleratorConfig>> configs_;
+    std::vector<ExplicitPoint> extraPoints_;
+    std::shared_ptr<CompiledModelCache> cache_;
 };
 
 } // namespace lergan

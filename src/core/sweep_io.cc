@@ -1,0 +1,68 @@
+#include "core/sweep_io.hh"
+
+#include "common/json.hh"
+
+namespace lergan {
+
+void
+writeSweepJson(std::ostream &os, const std::vector<SweepResult> &results)
+{
+    JsonWriter json(os);
+    json.beginArray();
+    for (const SweepResult &result : results) {
+        json.beginObject();
+        json.key("benchmark").value(result.benchmark);
+        json.key("config").value(result.configLabel);
+        if (result.failed) {
+            json.key("failed").value(true);
+            json.key("error").value(result.error);
+            json.endObject();
+            continue;
+        }
+        json.key("ms_per_iteration").value(result.report.timeMs());
+        json.key("mj_per_iteration")
+            .value(pjToMj(result.report.totalEnergyPj()));
+        json.key("crossbars").value(result.crossbarsUsed);
+        json.key("oversubscribed").value(result.oversubscribed);
+        json.key("stats").beginObject();
+        for (const auto &[name, value] : result.report.stats)
+            json.key(name).value(value);
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    os << '\n';
+}
+
+void
+writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results)
+{
+    os << "benchmark,config,ms_per_iteration,mj_per_iteration,"
+          "crossbars,oversubscribed,energy_compute_pj,energy_comm_pj,"
+          "energy_update_pj\n";
+    for (const SweepResult &result : results) {
+        os << result.benchmark << ',' << result.configLabel << ','
+           << result.report.timeMs() << ','
+           << pjToMj(result.report.totalEnergyPj()) << ','
+           << result.crossbarsUsed << ',' << result.oversubscribed << ','
+           << result.report.computeEnergyPj() << ','
+           << result.report.commEnergyPj() << ','
+           << result.report.stats.get("energy.update") << '\n';
+    }
+}
+
+void
+ExperimentSweep::writeJson(std::ostream &os,
+                           const std::vector<SweepResult> &results)
+{
+    writeSweepJson(os, results);
+}
+
+void
+ExperimentSweep::writeCsv(std::ostream &os,
+                          const std::vector<SweepResult> &results)
+{
+    writeSweepCsv(os, results);
+}
+
+} // namespace lergan

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Sweep-result exporters, decoupled from the runner.
+ *
+ * Output is a pure function of the result vector: a grid simulated on
+ * one worker and on N workers serializes byte-identically.
+ */
+
+#ifndef LERGAN_CORE_SWEEP_IO_HH
+#define LERGAN_CORE_SWEEP_IO_HH
+
+#include <ostream>
+#include <vector>
+
+#include "core/sweep.hh"
+
+namespace lergan {
+
+/**
+ * Write results as a JSON array of objects. A failed point carries
+ * "failed":true plus its "error" message instead of the metric keys.
+ */
+void writeSweepJson(std::ostream &os,
+                    const std::vector<SweepResult> &results);
+
+/**
+ * Write results as CSV (one row per point, stats flattened). Failed
+ * points keep their row — benchmark and config identify them — with
+ * every metric column zero.
+ */
+void writeSweepCsv(std::ostream &os,
+                   const std::vector<SweepResult> &results);
+
+} // namespace lergan
+
+#endif // LERGAN_CORE_SWEEP_IO_HH

@@ -1,0 +1,42 @@
+#include "exec/engine.hh"
+
+#include <exception>
+#include <mutex>
+
+#include "exec/thread_pool.hh"
+
+namespace lergan {
+
+std::vector<PointStatus>
+runPoints(std::size_t count, unsigned threads,
+          const std::function<void(std::size_t)> &body,
+          const ProgressFn &onProgress)
+{
+    std::vector<PointStatus> statuses(count);
+    if (count == 0)
+        return statuses;
+
+    ThreadPool pool(threads);
+    std::mutex progressMutex;
+    std::size_t done = 0;
+
+    for (std::size_t i = 0; i < count; ++i) {
+        pool.submit([&, i] {
+            try {
+                body(i);
+            } catch (const std::exception &e) {
+                statuses[i] = {false, e.what()};
+            } catch (...) {
+                statuses[i] = {false, "unknown exception"};
+            }
+            std::lock_guard lock(progressMutex);
+            ++done;
+            if (onProgress)
+                onProgress(done, count);
+        });
+    }
+    pool.drain();
+    return statuses;
+}
+
+} // namespace lergan

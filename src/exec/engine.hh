@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Parallel point-grid execution engine.
+ *
+ * Runs N independent point bodies on a worker pool with slot-indexed
+ * (therefore completion-order-independent) results, per-point error
+ * capture and serialized progress reporting. The experiment-sweep
+ * runner and any future batch driver build on this layer; the engine
+ * itself knows nothing about accelerators or sweeps.
+ */
+
+#ifndef LERGAN_EXEC_ENGINE_HH
+#define LERGAN_EXEC_ENGINE_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lergan {
+
+/** Progress hook: called as (points done, points total). */
+using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+/** Options of one engine-backed run (ExperimentSweep::run). */
+struct RunOptions {
+    /** Worker threads; 1 runs in submission order, 0 = one per
+     *  hardware thread. */
+    int threads = 1;
+    /** Training iterations to simulate per point. */
+    int iterations = 1;
+    /**
+     * Called after each point completes. Invocations are serialized
+     * (never concurrent), but arrive in completion order: only the
+     * counts are monotonic, not the identity of the finished point.
+     */
+    ProgressFn onProgress;
+};
+
+/** Execution status of one point. */
+struct PointStatus {
+    bool ok = true;
+    /** Exception message when !ok. */
+    std::string error;
+};
+
+/**
+ * Execute @p body(i) for every i in [0, count) on @p threads workers
+ * (0 = defaultThreadCount()) and block until all points finished.
+ *
+ * A body that throws marks its own PointStatus failed with the
+ * exception message; the other points are unaffected. Statuses are
+ * indexed by point, so the result is deterministic regardless of the
+ * order in which workers finish.
+ */
+std::vector<PointStatus> runPoints(std::size_t count, unsigned threads,
+                                   const std::function<void(std::size_t)> &body,
+                                   const ProgressFn &onProgress = {});
+
+} // namespace lergan
+
+#endif // LERGAN_EXEC_ENGINE_HH

@@ -1,0 +1,129 @@
+#include "exec/model_cache.hh"
+
+#include <sstream>
+
+#include "reram/params_io.hh"
+
+namespace lergan {
+
+namespace {
+
+/** Stream one layer's shape-defining fields. */
+void
+fingerprintLayer(std::ostream &os, const LayerSpec &layer)
+{
+    os << static_cast<int>(layer.kind) << ',' << layer.inChannels << ','
+       << layer.outChannels << ',' << layer.inSize << ',' << layer.outSize
+       << ',' << layer.spatialDims << ',' << layer.kernel << ','
+       << layer.stride << ',' << layer.pad << ',' << layer.padHi << ','
+       << layer.rem << ';';
+}
+
+} // namespace
+
+std::string
+modelFingerprint(const GanModel &model)
+{
+    std::ostringstream oss;
+    oss << model.name << '|' << model.itemSize << '|' << model.spatialDims
+        << "|G:";
+    for (const LayerSpec &layer : model.generator)
+        fingerprintLayer(oss, layer);
+    oss << "D:";
+    for (const LayerSpec &layer : model.discriminator)
+        fingerprintLayer(oss, layer);
+    return oss.str();
+}
+
+std::string
+configFingerprint(const AcceleratorConfig &config)
+{
+    std::ostringstream oss;
+    oss << static_cast<int>(config.connection) << '|'
+        << static_cast<int>(config.reshape) << '|'
+        << static_cast<int>(config.degree) << '|' << config.duplicate
+        << '|' << config.normalizedSpace << '|'
+        << config.spaceBudgetCrossbars << '|' << config.cuPairs << '|'
+        << config.batchSize << '|' << config.horizontalWires << '|'
+        << config.verticalWires << "|pd:";
+    for (const auto &[phase, degree] : config.phaseDegrees)
+        oss << static_cast<int>(phase) << '=' << static_cast<int>(degree)
+            << ',';
+    oss << "|ft:";
+    for (const auto &[bank, tile] : config.failedTiles)
+        oss << bank << '.' << tile << ',';
+    oss << "|reram:";
+    // Round-trips every tunable as "key = value" text, so two configs
+    // fingerprint equal iff all device parameters agree.
+    saveParams(oss, config.reram);
+    return oss.str();
+}
+
+std::shared_ptr<const CompiledGan>
+CompiledModelCache::get(const GanModel &model,
+                        const AcceleratorConfig &config,
+                        const CompileFn &compile)
+{
+    const std::string key =
+        modelFingerprint(model) + "##" + configFingerprint(config);
+
+    std::promise<std::shared_ptr<const CompiledGan>> promise;
+    {
+        std::unique_lock lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++hits_;
+            Future future = it->second;
+            lock.unlock();
+            return future.get(); // rethrows a racing compile's failure
+        }
+        ++misses_;
+        entries_.emplace(key, promise.get_future().share());
+    }
+
+    // Compile outside the lock: points with different keys compile in
+    // parallel; racers on this key block on the shared future above.
+    try {
+        auto compiled =
+            std::make_shared<const CompiledGan>(compile(model, config));
+        promise.set_value(compiled);
+        return compiled;
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        std::lock_guard lock(mutex_);
+        entries_.erase(key);
+        throw;
+    }
+}
+
+std::uint64_t
+CompiledModelCache::hits() const
+{
+    std::lock_guard lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+CompiledModelCache::misses() const
+{
+    std::lock_guard lock(mutex_);
+    return misses_;
+}
+
+std::size_t
+CompiledModelCache::size() const
+{
+    std::lock_guard lock(mutex_);
+    return entries_.size();
+}
+
+void
+CompiledModelCache::clear()
+{
+    std::lock_guard lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace lergan

@@ -1,0 +1,71 @@
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+
+namespace lergan {
+
+unsigned
+defaultThreadCount()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    // jthread joins on destruction; workers exit once the queue drains.
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock lock(mutex_);
+    allIdle_.wait(lock,
+                  [this] { return queue_.empty() && running_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock lock(mutex_);
+    for (;;) {
+        workReady_.wait(
+            lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty())
+            return; // stopping and nothing left to run
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++running_;
+        lock.unlock();
+        task();
+        lock.lock();
+        --running_;
+        if (queue_.empty() && running_ == 0)
+            allIdle_.notify_all();
+    }
+}
+
+} // namespace lergan

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fixed-size worker thread pool.
+ *
+ * A minimal mutex/condvar work queue feeding std::jthread workers — no
+ * external dependencies. Experiment points run for milliseconds while
+ * queue operations take nanoseconds, so a single queue lock is not a
+ * bottleneck; what matters is that submission never blocks behind
+ * running tasks and that drain/destruction are clean.
+ *
+ * Tasks must not let exceptions escape: the pool has nowhere to deliver
+ * them (the engine layer wraps point bodies in a catch-all and records
+ * failures per point instead).
+ */
+
+#ifndef LERGAN_EXEC_THREAD_POOL_HH
+#define LERGAN_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lergan {
+
+/** Workers used for a "0 = auto" thread count: one per hardware thread. */
+unsigned defaultThreadCount();
+
+/** Fixed-size pool executing submitted tasks in FIFO order. */
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers (0 = defaultThreadCount()). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Runs every remaining task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task; returns immediately. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and every worker is idle. */
+    void drain();
+
+    /** Number of worker threads. */
+    std::size_t threadCount() const { return workers_.size(); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allIdle_;
+    std::deque<std::function<void()>> queue_;
+    /** Tasks currently executing on some worker. */
+    std::size_t running_ = 0;
+    bool stopping_ = false;
+    std::vector<std::jthread> workers_;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_EXEC_THREAD_POOL_HH

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Tests for the parallel execution engine: thread pool, compiled-model
+ * cache, session compile-once behavior, and the parallel sweep path
+ * (determinism, error isolation, byte-identical exports).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/api.hh"
+#include "core/sweep.hh"
+#include "core/sweep_io.hh"
+#include "exec/engine.hh"
+#include "exec/thread_pool.hh"
+#include "workloads/zoo.hh"
+
+namespace lergan {
+namespace {
+
+AcceleratorConfig
+smallLerGan()
+{
+    AcceleratorConfig config =
+        AcceleratorConfig::lerGan(ReplicaDegree::Low);
+    config.batchSize = 4;
+    return config;
+}
+
+AcceleratorConfig
+smallPrime()
+{
+    AcceleratorConfig config = AcceleratorConfig::prime();
+    config.batchSize = 4;
+    return config;
+}
+
+/** 2 benchmarks x 2 configs, small batch — the test grid. */
+ExperimentSweep
+smallSweep()
+{
+    ExperimentSweep sweep;
+    sweep.addBenchmark(makeBenchmark("MAGAN-MNIST"))
+        .addBenchmark(makeBenchmark("cGAN"))
+        .addConfig("lergan", smallLerGan())
+        .addConfig("prime", smallPrime());
+    return sweep;
+}
+
+TEST(ThreadPool, RunsEveryTaskAcrossWorkers)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+
+    constexpr int kTasks = 100;
+    std::atomic<int> ran{0};
+    std::mutex mutex;
+    std::set<std::thread::id> workers;
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&] {
+            ran.fetch_add(1);
+            std::lock_guard lock(mutex);
+            workers.insert(std::this_thread::get_id());
+        });
+    }
+    pool.drain();
+    EXPECT_EQ(ran.load(), kTasks);
+    // Everything ran on pool workers, never on this thread.
+    EXPECT_LE(workers.size(), 4u);
+    EXPECT_EQ(workers.count(std::this_thread::get_id()), 0u);
+}
+
+TEST(ThreadPool, DrainIsRepeatable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 1);
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.submit([&] { ran.fetch_add(1); });
+    pool.drain();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, DestructorRunsRemainingTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&] { ran.fetch_add(1); });
+    }
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(Engine, ThrowingPointFailsAloneWithoutPoisoningSiblings)
+{
+    constexpr std::size_t kPoints = 7;
+    std::atomic<int> bodiesRun{0};
+    const auto statuses = runPoints(kPoints, 3, [&](std::size_t i) {
+        bodiesRun.fetch_add(1);
+        if (i == 2)
+            throw std::runtime_error("boom at point 2");
+    });
+    ASSERT_EQ(statuses.size(), kPoints);
+    EXPECT_EQ(bodiesRun.load(), static_cast<int>(kPoints));
+    for (std::size_t i = 0; i < kPoints; ++i) {
+        if (i == 2) {
+            EXPECT_FALSE(statuses[i].ok);
+            EXPECT_NE(statuses[i].error.find("boom"),
+                      std::string::npos);
+        } else {
+            EXPECT_TRUE(statuses[i].ok) << "point " << i;
+            EXPECT_TRUE(statuses[i].error.empty());
+        }
+    }
+}
+
+TEST(Engine, ProgressIsSerializedMonotonicAndComplete)
+{
+    constexpr std::size_t kPoints = 20;
+    std::vector<std::size_t> seen;
+    const auto statuses = runPoints(
+        kPoints, 4, [](std::size_t) {},
+        [&](std::size_t done, std::size_t total) {
+            EXPECT_EQ(total, kPoints);
+            seen.push_back(done); // serialized: no lock needed
+        });
+    ASSERT_EQ(seen.size(), kPoints);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i + 1);
+    EXPECT_EQ(statuses.size(), kPoints);
+}
+
+TEST(ModelCache, CompilesOnceWithExactCounters)
+{
+    const GanModel model = makeBenchmark("MAGAN-MNIST");
+    const AcceleratorConfig config = smallLerGan();
+
+    CompiledModelCache cache;
+    std::atomic<int> compiles{0};
+    const auto counting = [&](const GanModel &m,
+                              const AcceleratorConfig &c) {
+        compiles.fetch_add(1);
+        return compileGan(m, c);
+    };
+
+    const auto first = cache.get(model, config, counting);
+    const auto second = cache.get(model, config, counting);
+    EXPECT_EQ(compiles.load(), 1);
+    EXPECT_EQ(first.get(), second.get()); // same shared mapping
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+
+    // A different configuration is a different entry.
+    cache.get(model, smallPrime(), counting);
+    EXPECT_EQ(compiles.load(), 2);
+    EXPECT_EQ(cache.size(), 2u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(ModelCache, FailedCompileRethrowsAndRetries)
+{
+    const GanModel model = makeBenchmark("MAGAN-MNIST");
+    const AcceleratorConfig config = smallLerGan();
+
+    CompiledModelCache cache;
+    int calls = 0;
+    const auto failing = [&](const GanModel &,
+                             const AcceleratorConfig &) -> CompiledGan {
+        ++calls;
+        throw std::runtime_error("no mapping");
+    };
+    EXPECT_THROW(cache.get(model, config, failing), std::runtime_error);
+    EXPECT_EQ(cache.size(), 0u); // failed entry dropped
+
+    // The pair is retried, not poisoned.
+    const auto ok = cache.get(model, config, compileGan);
+    EXPECT_NE(ok, nullptr);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ModelCache, FingerprintsSeparateConfigsAndModels)
+{
+    const AcceleratorConfig base = smallLerGan();
+    AcceleratorConfig other = base;
+    other.batchSize = 8;
+    EXPECT_NE(configFingerprint(base), configFingerprint(other));
+
+    AcceleratorConfig device = base;
+    device.reram.adcPjPerXbar *= 2;
+    EXPECT_NE(configFingerprint(base), configFingerprint(device));
+
+    EXPECT_EQ(configFingerprint(base),
+              configFingerprint(AcceleratorConfig(base)));
+    EXPECT_NE(modelFingerprint(makeBenchmark("MAGAN-MNIST")),
+              modelFingerprint(makeBenchmark("cGAN")));
+    EXPECT_EQ(modelFingerprint(makeBenchmark("DCGAN")),
+              modelFingerprint(makeBenchmark("DCGAN")));
+}
+
+TEST(Session, CompilesExactlyOnceAcrossRepeatedRuns)
+{
+    const GanModel model = makeBenchmark("MAGAN-MNIST");
+    SimulationSession session(smallLerGan());
+
+    const TrainingReport first = session.run(model);
+    EXPECT_EQ(session.cacheMisses(), 1u);
+    EXPECT_EQ(session.cacheHits(), 0u);
+
+    const TrainingReport second = session.run(model);
+    const TrainingReport third = session.run(model, 3);
+    EXPECT_EQ(session.cacheMisses(), 1u);
+    EXPECT_EQ(session.cacheHits(), 2u);
+
+    // Cached and fresh compiles simulate identically.
+    EXPECT_EQ(first.iterationTime, second.iterationTime);
+    EXPECT_EQ(first.iterationTime, third.iterationTime);
+    EXPECT_DOUBLE_EQ(first.totalEnergyPj(), second.totalEnergyPj());
+}
+
+TEST(Session, MatchesTheOneShotWrapper)
+{
+    const GanModel model = makeBenchmark("cGAN");
+    const AcceleratorConfig config = smallPrime();
+    const TrainingReport wrapped = simulateTraining(model, config, 2);
+    const TrainingReport viaSession =
+        SimulationSession(config).run(model, 2);
+    EXPECT_EQ(wrapped.iterationTime, viaSession.iterationTime);
+    EXPECT_DOUBLE_EQ(wrapped.totalEnergyPj(),
+                     viaSession.totalEnergyPj());
+    EXPECT_EQ(wrapped.crossbarsUsed, viaSession.crossbarsUsed);
+}
+
+TEST(Session, UnusableConfigThrowsInvalidArgument)
+{
+    AcceleratorConfig config = smallLerGan();
+    config.batchSize = 0;
+    SimulationSession session(config);
+    EXPECT_THROW(session.run(makeBenchmark("MAGAN-MNIST")),
+                 std::invalid_argument);
+}
+
+TEST(Session, SharedCacheServesSeveralSessions)
+{
+    auto cache = std::make_shared<CompiledModelCache>();
+    const GanModel model = makeBenchmark("MAGAN-MNIST");
+    SimulationSession a(smallLerGan(), cache);
+    SimulationSession b(smallLerGan(), cache);
+    a.run(model);
+    b.run(model);
+    EXPECT_EQ(cache->misses(), 1u);
+    EXPECT_EQ(cache->hits(), 1u);
+}
+
+TEST(SweepExec, CacheHitCountIsExactForTheBenchmarkMajorGrid)
+{
+    const ExperimentSweep sweep = smallSweep();
+    EXPECT_EQ(sweep.pointCount(), 4u);
+
+    sweep.run(1);
+    EXPECT_EQ(sweep.cache().misses(), 4u); // every pair compiled once
+    EXPECT_EQ(sweep.cache().hits(), 0u);
+
+    sweep.run(1); // the repeat recompiles nothing
+    EXPECT_EQ(sweep.cache().misses(), 4u);
+    EXPECT_EQ(sweep.cache().hits(), 4u);
+}
+
+TEST(SweepExec, ParallelRunIsByteIdenticalToSequential)
+{
+    const ExperimentSweep sweep = smallSweep();
+    RunOptions sequential;
+    sequential.threads = 1;
+    sequential.iterations = 2;
+    RunOptions parallel;
+    parallel.threads = 4;
+    parallel.iterations = 2;
+
+    const auto seqResults = sweep.run(sequential);
+    const auto parResults = sweep.run(parallel);
+    ASSERT_EQ(seqResults.size(), parResults.size());
+
+    std::ostringstream seqJson, parJson, seqCsv, parCsv;
+    writeSweepJson(seqJson, seqResults);
+    writeSweepJson(parJson, parResults);
+    EXPECT_EQ(seqJson.str(), parJson.str());
+    writeSweepCsv(seqCsv, seqResults);
+    writeSweepCsv(parCsv, parResults);
+    EXPECT_EQ(seqCsv.str(), parCsv.str());
+}
+
+TEST(SweepExec, ResultsStayBenchmarkMajorUnderParallelism)
+{
+    RunOptions options;
+    options.threads = 4;
+    const auto results = smallSweep().run(options);
+    ASSERT_EQ(results.size(), 4u);
+    EXPECT_EQ(results[0].benchmark, "MAGAN-MNIST");
+    EXPECT_EQ(results[0].configLabel, "lergan");
+    EXPECT_EQ(results[1].benchmark, "MAGAN-MNIST");
+    EXPECT_EQ(results[1].configLabel, "prime");
+    EXPECT_EQ(results[2].benchmark, "cGAN");
+    EXPECT_EQ(results[2].configLabel, "lergan");
+    EXPECT_EQ(results[3].benchmark, "cGAN");
+    EXPECT_EQ(results[3].configLabel, "prime");
+}
+
+TEST(SweepExec, ThrowingPointFailsWithoutPoisoningSiblings)
+{
+    AcceleratorConfig bad = smallLerGan();
+    bad.batchSize = 0; // checkUsable throws at the point boundary
+
+    ExperimentSweep sweep;
+    sweep.addBenchmark(makeBenchmark("MAGAN-MNIST"))
+        .addConfig("good", smallLerGan())
+        .addConfig("bad", bad)
+        .addConfig("prime", smallPrime());
+    RunOptions options;
+    options.threads = 2;
+    const auto results = sweep.run(options);
+    ASSERT_EQ(results.size(), 3u);
+
+    EXPECT_FALSE(results[0].failed);
+    EXPECT_GT(results[0].report.iterationTime, 0u);
+    EXPECT_TRUE(results[1].failed);
+    EXPECT_EQ(results[1].benchmark, "MAGAN-MNIST");
+    EXPECT_EQ(results[1].configLabel, "bad");
+    EXPECT_NE(results[1].error.find("batchSize"), std::string::npos);
+    EXPECT_FALSE(results[2].failed);
+    EXPECT_GT(results[2].report.iterationTime, 0u);
+
+    // Exports keep the failed point identifiable.
+    std::ostringstream json;
+    writeSweepJson(json, results);
+    EXPECT_NE(json.str().find("\"failed\":true"), std::string::npos);
+    EXPECT_NE(json.str().find("batchSize"), std::string::npos);
+}
+
+TEST(SweepExec, ExplicitPointsRunAfterTheGrid)
+{
+    AcceleratorConfig custom = smallLerGan();
+    custom.cuPairs = 2;
+
+    ExperimentSweep sweep;
+    sweep.addBenchmark(makeBenchmark("MAGAN-MNIST"))
+        .addConfig("lergan", smallLerGan())
+        .addPoint(makeBenchmark("cGAN"), "custom", custom);
+    EXPECT_EQ(sweep.pointCount(), 2u);
+
+    const auto results = sweep.run(1);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].benchmark, "MAGAN-MNIST");
+    EXPECT_EQ(results[1].benchmark, "cGAN");
+    EXPECT_EQ(results[1].configLabel, "custom");
+    EXPECT_FALSE(results[1].failed);
+    EXPECT_GT(results[1].report.iterationTime, 0u);
+}
+
+TEST(SweepExec, ProgressCallbackCountsEveryPoint)
+{
+    RunOptions options;
+    options.threads = 3;
+    std::vector<std::size_t> seen;
+    options.onProgress = [&](std::size_t done, std::size_t total) {
+        EXPECT_EQ(total, 4u);
+        seen.push_back(done);
+    };
+    smallSweep().run(options);
+    ASSERT_EQ(seen.size(), 4u);
+    EXPECT_EQ(seen.back(), 4u);
+}
+
+TEST(SweepExec, LegacyOverloadsStillCompose)
+{
+    ExperimentSweep sweep;
+    sweep.add(makeBenchmark("MAGAN-MNIST")).add("lergan", smallLerGan());
+    const auto results = sweep.run();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].configLabel, "lergan");
+}
+
+} // namespace
+} // namespace lergan
