@@ -27,6 +27,9 @@ main(int argc, char **argv)
     args.addOption("iterations", "iterations per point", "1");
     args.addOption("threads",
                    "sweep workers (0 = one per hardware thread)", "0");
+    args.addOption("audit",
+                   "run cross-layer invariant checks on every point", "",
+                   /*is_flag=*/true);
     args.parse(argc, argv, "export the evaluation grid for plotting");
 
     ExperimentSweep sweep;
@@ -39,6 +42,8 @@ main(int argc, char **argv)
     sweep.addConfig("lergan-high",
                     AcceleratorConfig::lerGan(ReplicaDegree::High));
     sweep.addConfig("prime", AcceleratorConfig::prime());
+    if (args.getFlag("audit"))
+        sweep.auditWith(AuditOptions::full());
 
     RunOptions options;
     options.threads = args.getInt("threads");

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "bench_util.hh"
+#include "common/args.hh"
 #include "core/sweep.hh"
 #include "core/sweep_io.hh"
 #include "exec/thread_pool.hh"
@@ -45,8 +46,13 @@ timedRun(const lergan::ExperimentSweep &sweep, int threads)
     return {std::move(results), elapsed.count()};
 }
 
+/**
+ * @param golden mask wall-clock, speedup and host-thread values (they
+ * differ run to run) so the output byte-diffs cleanly against a
+ * committed snapshot. The byte-identity verdict lines stay live.
+ */
 void
-sweepEngineSection()
+sweepEngineSection(bool golden)
 {
     using namespace lergan;
     using lergan::bench::kIterations;
@@ -80,8 +86,10 @@ sweepEngineSection()
     const auto row = [&](const char *name, int workers, double seconds,
                          const std::string &cache) {
         table.addRow({name, std::to_string(workers),
-                      TextTable::num(seconds * 1e3, 1),
-                      TextTable::num(seqSeconds / seconds, 2) + "x",
+                      golden ? "-" : TextTable::num(seconds * 1e3, 1),
+                      golden ? "-"
+                             : TextTable::num(seqSeconds / seconds, 2) +
+                                   "x",
                       cache});
     };
     row("sequential", 1, seqSeconds, seqCache);
@@ -94,15 +102,23 @@ sweepEngineSection()
               << "; warm rerun byte-identical: "
               << (seqJson.str() == warmJson.str() ? "yes" : "NO")
               << "\n(speedup scales with the host's cores; this run saw "
-              << defaultThreadCount() << " hardware thread(s))\n";
+              << (golden ? std::string("-")
+                         : std::to_string(defaultThreadCount()))
+              << " hardware thread(s))\n";
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lergan;
+    ArgParser args;
+    args.addOption("golden",
+                   "mask host-dependent values for golden snapshots", "",
+                   /*is_flag=*/true);
+    args.parse(argc, argv, "Table V benchmark topology reproduction");
+
     bench::banner("Table V: GAN benchmark topologies",
                   "8 GANs; f/c/t layer chains with kernel+stride specs");
 
@@ -146,6 +162,6 @@ main()
         }
     }
 
-    sweepEngineSection();
+    sweepEngineSection(args.getFlag("golden"));
     return 0;
 }

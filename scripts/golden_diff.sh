@@ -1,0 +1,17 @@
+#!/bin/sh
+# Byte-diff a binary's stdout against a committed golden snapshot.
+#
+# Usage: golden_diff.sh <golden-file> <binary> [args...]
+#
+# Exits non-zero (with a unified diff on stdout) when the output
+# deviates. Regenerate snapshots with scripts/update_goldens.sh.
+set -eu
+
+golden="$1"
+shift
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+"$@" > "$tmp"
+diff -u "$golden" "$tmp"

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Byte-diff export_results output (JSON + CSV, with auditing on)
+# against the committed goldens.
+#
+# Usage: golden_export.sh <golden-dir> <export_results-binary> <threads>
+#
+# Running this at both --threads 1 and --threads 4 against the SAME
+# goldens is the determinism check: sweep exports must not depend on
+# worker count or completion order.
+set -eu
+
+goldendir="$1"
+bin="$2"
+threads="$3"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$bin" --json "$tmp/results.json" --csv "$tmp/results.csv" \
+    --threads "$threads" --audit > /dev/null
+diff -u "$goldendir/export_results.json" "$tmp/results.json"
+diff -u "$goldendir/export_results.csv" "$tmp/results.csv"

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Regenerate the committed golden snapshots in tests/golden/ from the
+# current build. Run after an intentional change to simulator numbers
+# or export formats, then review the diff like any other code change:
+#
+#   cmake --build build
+#   scripts/update_goldens.sh [build-dir]
+#   git diff tests/golden/
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+out="$root/tests/golden"
+mkdir -p "$out"
+
+for bench in fig16_zfdr_phases fig17_3d_vs_htree fig18_zfdr_vs_nr \
+    fig19_lergan_vs_prime fig20_energy_vs_prime fig21_perf_fpga_gpu \
+    fig22_energy_fpga_gpu fig23_energy_breakdown fig24_tile_breakdown
+do
+    echo "golden: $bench"
+    "$build/bench/$bench" > "$out/$bench.txt"
+done
+
+# table5 measures wall-clock; --golden masks the host-dependent cells.
+echo "golden: table5_benchmarks"
+"$build/bench/table5_benchmarks" --golden > "$out/table5_benchmarks.txt"
+
+echo "golden: export_results"
+"$build/bench/export_results" --json "$out/export_results.json" \
+    --csv "$out/export_results.csv" --threads 1 --audit > /dev/null
+
+echo "done; review with: git diff tests/golden/"

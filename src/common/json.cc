@@ -1,5 +1,7 @@
 #include "common/json.hh"
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
 
 #include "common/logging.hh"
@@ -113,8 +115,15 @@ JsonWriter &
 JsonWriter::value(double number)
 {
     separator();
+    if (!std::isfinite(number)) {
+        // JSON has no representation for NaN or Infinity; "nan" would
+        // make the whole document unparsable.
+        os_ << "null";
+        return *this;
+    }
+    // 17 significant digits round-trip every finite double exactly.
     char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.12g", number);
+    std::snprintf(buf, sizeof(buf), "%.17g", number);
     os_ << buf;
     return *this;
 }
@@ -141,6 +150,246 @@ JsonWriter::value(bool flag)
     separator();
     os_ << (flag ? "true" : "false");
     return *this;
+}
+
+namespace {
+
+/** Recursive-descent JSON acceptor (no DOM, no value extraction). */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(std::string_view text) : text_(text) {}
+
+    bool
+    check(std::string *error)
+    {
+        ok_ = true;
+        pos_ = 0;
+        skipSpace();
+        parseValue();
+        skipSpace();
+        if (ok_ && pos_ != text_.size())
+            failAt(pos_, "trailing characters after the JSON value");
+        if (!ok_ && error)
+            *error = error_;
+        return ok_;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 256;
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    bool ok_ = true;
+    std::string error_;
+
+    void
+    failAt(std::size_t pos, const std::string &what)
+    {
+        if (!ok_)
+            return; // keep the first error
+        ok_ = false;
+        error_ = what + " at byte " + std::to_string(pos);
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipSpace()
+    {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t' ||
+                            peek() == '\n' || peek() == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (atEnd() || peek() != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    void
+    expectLiteral(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word) {
+            failAt(pos_, "invalid literal");
+            return;
+        }
+        pos_ += word.size();
+    }
+
+    void
+    parseValue()
+    {
+        if (!ok_)
+            return;
+        if (atEnd()) {
+            failAt(pos_, "unexpected end of input");
+            return;
+        }
+        if (++depth_ > kMaxDepth) {
+            failAt(pos_, "nesting deeper than 256 levels");
+            return;
+        }
+        switch (peek()) {
+          case '{': parseObject(); break;
+          case '[': parseArray(); break;
+          case '"': parseString(); break;
+          case 't': expectLiteral("true"); break;
+          case 'f': expectLiteral("false"); break;
+          case 'n': expectLiteral("null"); break;
+          default:  parseNumber(); break;
+        }
+        --depth_;
+    }
+
+    void
+    parseObject()
+    {
+        consume('{');
+        skipSpace();
+        if (consume('}'))
+            return;
+        while (ok_) {
+            skipSpace();
+            if (atEnd() || peek() != '"') {
+                failAt(pos_, "expected an object key string");
+                return;
+            }
+            parseString();
+            skipSpace();
+            if (!consume(':')) {
+                failAt(pos_, "expected ':' after an object key");
+                return;
+            }
+            skipSpace();
+            parseValue();
+            skipSpace();
+            if (consume('}'))
+                return;
+            if (!consume(',')) {
+                failAt(pos_, "expected ',' or '}' in an object");
+                return;
+            }
+        }
+    }
+
+    void
+    parseArray()
+    {
+        consume('[');
+        skipSpace();
+        if (consume(']'))
+            return;
+        while (ok_) {
+            skipSpace();
+            parseValue();
+            skipSpace();
+            if (consume(']'))
+                return;
+            if (!consume(',')) {
+                failAt(pos_, "expected ',' or ']' in an array");
+                return;
+            }
+        }
+    }
+
+    void
+    parseString()
+    {
+        consume('"');
+        while (ok_) {
+            if (atEnd()) {
+                failAt(pos_, "unterminated string");
+                return;
+            }
+            const unsigned char c =
+                static_cast<unsigned char>(text_[pos_++]);
+            if (c == '"')
+                return;
+            if (c < 0x20) {
+                failAt(pos_ - 1, "unescaped control character");
+                return;
+            }
+            if (c != '\\')
+                continue;
+            if (atEnd()) {
+                failAt(pos_, "unterminated escape");
+                return;
+            }
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': case '\\': case '/': case 'b': case 'f':
+              case 'n': case 'r': case 't':
+                break;
+              case 'u':
+                for (int i = 0; i < 4; ++i) {
+                    if (atEnd() ||
+                        !std::isxdigit(
+                            static_cast<unsigned char>(peek()))) {
+                        failAt(pos_, "invalid \\u escape");
+                        return;
+                    }
+                    ++pos_;
+                }
+                break;
+              default:
+                failAt(pos_ - 1, "invalid escape character");
+                return;
+            }
+        }
+    }
+
+    void
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        consume('-');
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+            failAt(start, "invalid number");
+            return;
+        }
+        if (!consume('0'))
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        if (consume('.')) {
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek()))) {
+                failAt(pos_, "digits must follow a decimal point");
+                return;
+            }
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!consume('+'))
+                consume('-');
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek()))) {
+                failAt(pos_, "digits must follow an exponent");
+                return;
+            }
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+    }
+};
+
+} // namespace
+
+bool
+isValidJson(std::string_view text, std::string *error)
+{
+    return JsonChecker(text).check(error);
 }
 
 } // namespace lergan

@@ -1,10 +1,12 @@
 /**
  * @file
- * Minimal streaming JSON writer.
+ * Minimal streaming JSON writer, plus a structural validity checker.
  *
- * Used by the trace exporter (Chrome trace format) and the machine-
- * readable bench output. Write-only by design: the project never parses
- * JSON, so a full DOM would be dead weight.
+ * The writer feeds the trace exporter (Chrome trace format) and the
+ * machine-readable bench output. The checker exists for the tests and
+ * the golden-regression harness: it accepts or rejects a byte string as
+ * RFC 8259 JSON without building a DOM (the project never needs parsed
+ * values, only the guarantee that consumers can parse them).
  */
 
 #ifndef LERGAN_COMMON_JSON_HH
@@ -12,6 +14,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace lergan {
@@ -45,6 +48,12 @@ class JsonWriter
 
     JsonWriter &value(const std::string &text);
     JsonWriter &value(const char *text);
+    /**
+     * Numbers print round-trip exact (%.17g): re-parsing the emitted
+     * text recovers the identical double, so byte-identical exports are
+     * value-identical too. JSON has no NaN/Infinity — non-finite values
+     * emit null.
+     */
     JsonWriter &value(double number);
     JsonWriter &value(std::uint64_t number);
     JsonWriter &value(int number);
@@ -62,6 +71,13 @@ class JsonWriter
     std::vector<bool> hasElement_;
     bool pendingKey_ = false;
 };
+
+/**
+ * @return true iff @p text is one complete, syntactically valid JSON
+ * value (RFC 8259) with nothing but whitespace around it. On failure,
+ * @p error (when non-null) receives a description with a byte offset.
+ */
+bool isValidJson(std::string_view text, std::string *error = nullptr);
 
 } // namespace lergan
 

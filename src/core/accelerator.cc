@@ -589,6 +589,11 @@ LerGanAccelerator::trainIterationImpl(Tracer *tracer)
     report.iterationTime = exec.makespan;
     report.stats = builder.energy;
     report.stats.merge(exec.stats);
+    // Snapshot of the energy total at the moment the run produced it;
+    // the audit layer compares the prefix sum against this to detect
+    // post-run mutation of any component (audit/audit.hh).
+    report.stats.set("audit.energy_total_pj",
+                     report.stats.sumPrefix("energy."));
     report.crossbarsUsed = compiled_->crossbarsUsed;
     report.compileMs = compiled_->compileMs;
     report.compileMsTraditional = compiled_->compileMsTraditional;
@@ -598,8 +603,16 @@ LerGanAccelerator::trainIterationImpl(Tracer *tracer)
 TrainingReport
 LerGanAccelerator::trainIterations(int n)
 {
+    return trainIterations(n, nullptr);
+}
+
+TrainingReport
+LerGanAccelerator::trainIterations(int n, Tracer *tracer)
+{
     LERGAN_ASSERT(n > 0, "need at least one iteration");
-    TrainingReport report = trainIteration();
+    if (tracer)
+        tracer->clear();
+    TrainingReport report = trainIterationImpl(tracer);
     report.stats.set("total.iterations", n);
     report.stats.set("total.time_ms", report.timeMs() * n);
     report.stats.set("total.energy_mj", pjToMj(report.totalEnergyPj()) * n);

@@ -63,6 +63,14 @@ class LerGanAccelerator
      */
     TrainingReport trainIterations(int n);
 
+    /**
+     * trainIterations() recording the simulated iteration's task
+     * intervals into @p tracer (cleared first; null records nothing) —
+     * the variant the audit layer uses to cross-check phase times
+     * against the event-queue makespan.
+     */
+    TrainingReport trainIterations(int n, Tracer *tracer);
+
     const CompiledGan &compiled() const { return *compiled_; }
     const GanModel &model() const { return model_; }
     const AcceleratorConfig &config() const { return config_; }

@@ -1,5 +1,8 @@
 #include "core/api.hh"
 
+#include "core/validate.hh"
+#include "sim/trace.hh"
+
 namespace lergan {
 
 SimulationSession::SimulationSession(AcceleratorConfig config)
@@ -14,14 +17,56 @@ SimulationSession::SimulationSession(
 {
 }
 
+SimulationSession &
+SimulationSession::auditWith(AuditOptions options)
+{
+    audit_ = std::move(options);
+    audit_.enabled = true;
+    return *this;
+}
+
 TrainingReport
-SimulationSession::run(const GanModel &model, int iterations) const
+SimulationSession::runImpl(const GanModel &model, int iterations,
+                           const AuditOptions &options,
+                           AuditVerdict *verdict) const
 {
     config_.checkUsable();
     std::shared_ptr<const CompiledGan> compiled =
-        cache_->get(model, config_, compileGan);
+        cache_->get(model, config_, compileGanValidated);
     LerGanAccelerator accelerator(model, config_, std::move(compiled));
-    return accelerator.trainIterations(iterations);
+    if (!options.enabled)
+        return accelerator.trainIterations(iterations);
+
+    Tracer tracer;
+    Tracer *trace = options.timing ? &tracer : nullptr;
+    TrainingReport report = accelerator.trainIterations(iterations, trace);
+    const AuditContext context(options);
+    AuditVerdict result = context.run({&model, &config_,
+                                       &accelerator.compiled(), &report,
+                                       trace});
+    if (verdict)
+        *verdict = std::move(result);
+    else if (!result.ok())
+        throw AuditError(std::move(result));
+    return report;
+}
+
+TrainingReport
+SimulationSession::run(const GanModel &model, int iterations) const
+{
+    return runImpl(model, iterations, audit_, nullptr);
+}
+
+AuditVerdict
+SimulationSession::audit(const GanModel &model, int iterations,
+                         TrainingReport *report) const
+{
+    AuditVerdict verdict;
+    TrainingReport audited =
+        runImpl(model, iterations, AuditOptions::full(), &verdict);
+    if (report)
+        *report = std::move(audited);
+    return verdict;
 }
 
 TrainingReport

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "audit/audit.hh"
 #include "core/accelerator.hh"
 #include "core/compiler.hh"
 #include "core/config.hh"
@@ -70,8 +71,30 @@ class SimulationSession
     SimulationSession(AcceleratorConfig config,
                       std::shared_ptr<CompiledModelCache> cache);
 
-    /** Simulate @p iterations training iterations of @p model. */
+    /**
+     * Simulate @p iterations training iterations of @p model.
+     *
+     * With auditing enabled (auditWith), the run is additionally traced
+     * and cross-checked by an AuditContext; a violated invariant throws
+     * AuditError. Audit failures are simulator bugs, not user errors.
+     */
     TrainingReport run(const GanModel &model, int iterations = 1) const;
+
+    /**
+     * Enable (or reconfigure) result auditing for every subsequent
+     * run() of this session. Not thread-safe against concurrent run()
+     * calls; configure before handing the session out.
+     */
+    SimulationSession &auditWith(AuditOptions options);
+
+    /**
+     * Simulate and audit @p model, returning the verdict instead of
+     * throwing — for tooling that wants the full finding list. Always
+     * audits (every check on), regardless of auditWith(). The audited
+     * report lands in @p report when non-null.
+     */
+    AuditVerdict audit(const GanModel &model, int iterations = 1,
+                       TrainingReport *report = nullptr) const;
 
     const AcceleratorConfig &config() const { return config_; }
 
@@ -86,8 +109,14 @@ class SimulationSession
     ///@}
 
   private:
+    /** Simulate, and audit under @p options when enabled. */
+    TrainingReport runImpl(const GanModel &model, int iterations,
+                           const AuditOptions &options,
+                           AuditVerdict *verdict) const;
+
     AcceleratorConfig config_;
     std::shared_ptr<CompiledModelCache> cache_;
+    AuditOptions audit_;
 };
 
 /**

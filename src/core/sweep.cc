@@ -1,6 +1,8 @@
 #include "core/sweep.hh"
 
 #include "common/logging.hh"
+#include "core/validate.hh"
+#include "sim/trace.hh"
 
 namespace lergan {
 
@@ -29,6 +31,14 @@ ExperimentSweep::addPoint(const GanModel &model, const std::string &label,
                           const AcceleratorConfig &config)
 {
     extraPoints_.push_back({model, label, config});
+    return *this;
+}
+
+ExperimentSweep &
+ExperimentSweep::auditWith(AuditOptions options)
+{
+    audit_ = std::move(options);
+    audit_.enabled = true;
     return *this;
 }
 
@@ -65,16 +75,29 @@ ExperimentSweep::run(const RunOptions &options) const
         [&](std::size_t i) {
             const Point &point = points[i];
             point.config->checkUsable();
+            // Validated compile: every mapping entering the cache from
+            // the execution engine passes validateMapping, with full
+            // diagnostics on failure (core/validate.hh).
             std::shared_ptr<const CompiledGan> compiled =
-                cache_->get(*point.model, *point.config, compileGan);
+                cache_->get(*point.model, *point.config,
+                            compileGanValidated);
             LerGanAccelerator accelerator(*point.model, *point.config,
                                           std::move(compiled));
             SweepResult &result = results[i];
+            Tracer tracer;
+            Tracer *trace =
+                audit_.enabled && audit_.timing ? &tracer : nullptr;
             result.report =
-                accelerator.trainIterations(options.iterations);
+                accelerator.trainIterations(options.iterations, trace);
             result.crossbarsUsed = accelerator.compiled().crossbarsUsed;
             result.oversubscribed =
                 accelerator.compiled().oversubscribedCrossbars;
+            if (audit_.enabled) {
+                const AuditContext context(audit_);
+                result.audit = context.run(
+                    {point.model, point.config, &accelerator.compiled(),
+                     &result.report, trace});
+            }
         },
         options.onProgress);
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/audit.hh"
 #include "core/accelerator.hh"
 #include "exec/engine.hh"
 #include "exec/model_cache.hh"
@@ -40,6 +41,13 @@ struct SweepResult {
     bool failed = false;
     /** Exception message of a failed point. */
     std::string error;
+    /**
+     * Cross-layer invariant verdict of this point (audit.ran is false
+     * unless the sweep was configured with auditWith). A failed audit
+     * does not fail the point — it is surfaced here and in the JSON
+     * export; an audit failure is a simulator bug, not a user error.
+     */
+    AuditVerdict audit;
 };
 
 /** A grid of benchmarks x configurations (plus explicit extra points). */
@@ -64,6 +72,14 @@ class ExperimentSweep
     ExperimentSweep &addPoint(const GanModel &model,
                               const std::string &label,
                               const AcceleratorConfig &config);
+
+    /**
+     * Audit every point of every subsequent run() under @p options:
+     * each point simulates traced and its SweepResult::audit carries
+     * the verdict. Adds one traced re-execution's worth of bookkeeping
+     * but no extra simulation — the audited run is the measured run.
+     */
+    ExperimentSweep &auditWith(AuditOptions options);
 
     /** @name Legacy overloaded builders (forward to the named ones) */
     ///@{
@@ -118,6 +134,7 @@ class ExperimentSweep
     std::vector<std::pair<std::string, AcceleratorConfig>> configs_;
     std::vector<ExplicitPoint> extraPoints_;
     std::shared_ptr<CompiledModelCache> cache_;
+    AuditOptions audit_;
 };
 
 } // namespace lergan

@@ -4,6 +4,32 @@
 
 namespace lergan {
 
+namespace {
+
+/**
+ * RFC 4180 field quoting: a field containing a comma, quote, CR or LF
+ * is wrapped in quotes with embedded quotes doubled. Everything else
+ * passes through unchanged (so ordinary exports stay byte-stable).
+ */
+std::string
+csvField(const std::string &text)
+{
+    if (text.find_first_of(",\"\r\n") == std::string::npos)
+        return text;
+    std::string quoted;
+    quoted.reserve(text.size() + 2);
+    quoted += '"';
+    for (char c : text) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
 void
 writeSweepJson(std::ostream &os, const std::vector<SweepResult> &results)
 {
@@ -24,6 +50,25 @@ writeSweepJson(std::ostream &os, const std::vector<SweepResult> &results)
             .value(pjToMj(result.report.totalEnergyPj()));
         json.key("crossbars").value(result.crossbarsUsed);
         json.key("oversubscribed").value(result.oversubscribed);
+        if (result.audit.ran) {
+            json.key("audit").beginObject();
+            json.key("ok").value(result.audit.ok());
+            json.key("checks")
+                .value(static_cast<std::uint64_t>(
+                    result.audit.checksRun));
+            if (!result.audit.ok()) {
+                json.key("failures").beginArray();
+                for (const AuditFinding &finding :
+                     result.audit.failures) {
+                    json.beginObject();
+                    json.key("check").value(finding.check);
+                    json.key("detail").value(finding.detail);
+                    json.endObject();
+                }
+                json.endArray();
+            }
+            json.endObject();
+        }
         json.key("stats").beginObject();
         for (const auto &[name, value] : result.report.stats)
             json.key(name).value(value);
@@ -39,15 +84,23 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results)
 {
     os << "benchmark,config,ms_per_iteration,mj_per_iteration,"
           "crossbars,oversubscribed,energy_compute_pj,energy_comm_pj,"
-          "energy_update_pj\n";
+          "energy_update_pj,error\n";
     for (const SweepResult &result : results) {
-        os << result.benchmark << ',' << result.configLabel << ','
-           << result.report.timeMs() << ','
+        os << csvField(result.benchmark) << ','
+           << csvField(result.configLabel) << ',';
+        if (result.failed) {
+            // No metrics exist for a failed point; emitting a
+            // default-constructed report's zeros would be
+            // indistinguishable from real values.
+            os << ",,,,,,," << csvField(result.error) << '\n';
+            continue;
+        }
+        os << result.report.timeMs() << ','
            << pjToMj(result.report.totalEnergyPj()) << ','
            << result.crossbarsUsed << ',' << result.oversubscribed << ','
            << result.report.computeEnergyPj() << ','
            << result.report.commEnergyPj() << ','
-           << result.report.stats.get("energy.update") << '\n';
+           << result.report.stats.get("energy.update") << ",\n";
     }
 }
 

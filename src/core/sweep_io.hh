@@ -19,14 +19,17 @@ namespace lergan {
 /**
  * Write results as a JSON array of objects. A failed point carries
  * "failed":true plus its "error" message instead of the metric keys.
+ * Audited points (ExperimentSweep::auditWith) additionally carry an
+ * "audit" object with the verdict and any failed invariants.
  */
 void writeSweepJson(std::ostream &os,
                     const std::vector<SweepResult> &results);
 
 /**
- * Write results as CSV (one row per point, stats flattened). Failed
- * points keep their row — benchmark and config identify them — with
- * every metric column zero.
+ * Write results as CSV (one row per point, stats flattened), fields
+ * quoted per RFC 4180 where needed. Failed points keep their row —
+ * benchmark and config identify them — with every metric cell empty
+ * and the exception message in the trailing "error" column.
  */
 void writeSweepCsv(std::ostream &os,
                    const std::vector<SweepResult> &results);

@@ -2,6 +2,7 @@
 
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 namespace lergan {
 
@@ -122,6 +123,30 @@ validateMapping(const GanModel &model, const AcceleratorConfig &config,
         }
     }
     return result;
+}
+
+void
+throwIfInvalid(const GanModel &model, const AcceleratorConfig &config,
+               const CompiledGan &compiled)
+{
+    const ValidationResult result =
+        validateMapping(model, config, compiled);
+    if (result.ok())
+        return;
+    std::ostringstream oss;
+    oss << "invalid mapping for " << model.name << " on "
+        << config.label() << ":";
+    for (const std::string &violation : result.violations)
+        oss << "\n  " << violation;
+    throw std::runtime_error(oss.str());
+}
+
+CompiledGan
+compileGanValidated(const GanModel &model, const AcceleratorConfig &config)
+{
+    CompiledGan compiled = compileGan(model, config);
+    throwIfInvalid(model, config, compiled);
+    return compiled;
 }
 
 } // namespace lergan

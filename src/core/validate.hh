@@ -43,6 +43,22 @@ ValidationResult validateMapping(const GanModel &model,
                                  const AcceleratorConfig &config,
                                  const CompiledGan &compiled);
 
+/**
+ * validateMapping(), but violations throw std::runtime_error with every
+ * diagnostic joined into the message.
+ */
+void throwIfInvalid(const GanModel &model, const AcceleratorConfig &config,
+                    const CompiledGan &compiled);
+
+/**
+ * compileGan() followed by throwIfInvalid(): the compile step the
+ * session and sweep inject into the CompiledModelCache, so *every*
+ * compile inside the execution engine is validated at the point it
+ * enters the cache — not just when an accelerator is constructed.
+ */
+CompiledGan compileGanValidated(const GanModel &model,
+                                const AcceleratorConfig &config);
+
 } // namespace lergan
 
 #endif // LERGAN_CORE_VALIDATE_HH
