@@ -17,8 +17,10 @@ cmake --build "$root/build" -j "$jobs"
 ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
 
 # The exec tests exercise the worker pool and the compile cache under
-# real concurrency; TSan is the check that the "shared immutable
-# compiled model, per-worker mutable state" contract actually holds.
+# real concurrency, and the fault tests drive the Monte Carlo driver's
+# seeded trials across the same pool; TSan is the check that the
+# "shared immutable compiled model, per-worker mutable state" contract
+# actually holds.
 echo "== ThreadSanitizer availability probe =="
 probe_dir=$(mktemp -d)
 trap 'rm -rf "$probe_dir"' EXIT
@@ -28,13 +30,14 @@ int main() { std::thread([] {}).join(); }
 EOF
 if c++ -std=c++20 -fsanitize=thread "$probe_dir/probe.cc" \
         -o "$probe_dir/probe" 2>/dev/null && "$probe_dir/probe"; then
-    echo "== TSan build of the exec tests (ctest -L tsan) =="
+    echo "== TSan build of the exec + fault tests (ctest -L 'tsan|faults') =="
     cmake -B "$root/build-tsan" -S "$root" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread" >/dev/null
-    cmake --build "$root/build-tsan" -j "$jobs" --target test_exec
-    ctest --test-dir "$root/build-tsan" -L tsan --output-on-failure \
-        -j "$jobs"
+    cmake --build "$root/build-tsan" -j "$jobs" \
+        --target test_exec test_faults
+    ctest --test-dir "$root/build-tsan" -L 'tsan|faults' \
+        --output-on-failure -j "$jobs"
 else
     echo "ThreadSanitizer unavailable on this toolchain; skipping the" \
          "tsan-labelled tests (plain suite already ran)."

@@ -29,4 +29,9 @@ echo "golden: export_results"
 "$build/bench/export_results" --json "$out/export_results.json" \
     --csv "$out/export_results.csv" --threads 1 --audit > /dev/null
 
+# Seeded Monte Carlo: deterministic for any worker count, so the same
+# snapshot serves the 1- and 4-worker golden tests.
+echo "golden: fault_sweep"
+"$build/bench/fault_sweep" --golden --threads 1 > "$out/fault_sweep.txt"
+
 echo "done; review with: git diff tests/golden/"

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <sstream>
 
 #include "common/strings.hh"
 #include "core/compiler.hh"
+#include "core/machine.hh"
 #include "core/phase_report.hh"
 #include "core/report.hh"
 #include "core/validate.hh"
@@ -275,6 +277,82 @@ checkMapping(const AuditInput &input, const AuditOptions &,
     return true;
 }
 
+/**
+ * (e) Graceful degradation. A run compiled against a fault map (or a
+ * manual failed-tile list) must route around every unusable tile: no
+ * allocation range reserves crossbars there, the placement's bank usage
+ * is zero there, and — when the run was traced — no task executed on a
+ * killed tile's compute resource. Skipped entirely on healthy runs so
+ * their verdicts (and the goldens that pin them) are unchanged.
+ */
+bool
+checkFaults(const AuditInput &input, const AuditOptions &,
+            AuditVerdict &verdict)
+{
+    const FaultImpact &impact = input.compiled->faultImpact;
+    const auto &manual = input.config->failedTiles;
+    if (!impact.active && manual.empty())
+        return false; // healthy run: nothing to audit against
+
+    std::set<std::pair<int, int>> unusable(manual.begin(), manual.end());
+    if (impact.active) {
+        unusable.insert(impact.unusableTiles.begin(),
+                        impact.unusableTiles.end());
+    }
+
+    for (const CompiledPhase &phase : input.compiled->phases) {
+        for (const MappedOp &mapped : phase.ops) {
+            for (const CrossbarRange &range : mapped.allocation.ranges) {
+                if (range.count > 0 &&
+                    unusable.count({range.bank, range.tile})) {
+                    fail(verdict, "faults", mapped.op.label,
+                         " reserves ", range.count,
+                         " crossbars on unusable tile (bank ", range.bank,
+                         ", tile ", range.tile, ")");
+                }
+            }
+        }
+    }
+
+    const auto &usage = input.compiled->bankUsage;
+    for (const auto &[bank, tile] : unusable) {
+        if (bank < 0 || tile < 0 ||
+            static_cast<std::size_t>(bank) >= usage.size() ||
+            static_cast<std::size_t>(tile) >= usage[bank].size()) {
+            fail(verdict, "faults", "unusable tile (bank ", bank,
+                 ", tile ", tile, ") is outside the machine");
+            continue;
+        }
+        if (usage[bank][tile] != 0) {
+            fail(verdict, "faults", "killed tile (bank ", bank,
+                 ", tile ", tile, ") still holds ", usage[bank][tile],
+                 " crossbars of placement");
+        }
+    }
+
+    if (input.trace != nullptr) {
+        // Re-derive the resource ids of the killed tiles' compute
+        // pipelines from a fresh machine of the same config and make
+        // sure no traced task ran on one.
+        const Machine machine(*input.config);
+        std::set<std::size_t> dead;
+        for (const auto &[bank, tile] : unusable) {
+            if (bank >= 0 && tile >= 0 && bank < 6 * input.config->cuPairs &&
+                tile < input.config->reram.tilesPerBank)
+                dead.insert(machine.tileComputeRes(bank, tile));
+        }
+        for (const TraceEvent &event : input.trace->events()) {
+            if (dead.count(event.lane)) {
+                fail(verdict, "faults", event.label,
+                     " executed on the compute resource of a killed"
+                     " tile (lane ",
+                     event.lane, ")");
+            }
+        }
+    }
+    return true;
+}
+
 } // namespace
 
 std::string
@@ -310,6 +388,8 @@ AuditContext::AuditContext(AuditOptions options)
         checks_.emplace_back("zeros", checkZeros);
     if (options_.mapping)
         checks_.emplace_back("mapping", checkMapping);
+    if (options_.faults)
+        checks_.emplace_back("faults", checkFaults);
 }
 
 void

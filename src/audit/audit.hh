@@ -20,7 +20,11 @@
  *  - zeros:   the paper's closed-form ZFDR class counts (Eq. 11-13)
  *    must match direct window enumeration for every reshaped op of the
  *    compiled model;
- *  - mapping: validateMapping() must pass on the compiled mapping.
+ *  - mapping: validateMapping() must pass on the compiled mapping;
+ *  - faults:  a degraded run (fault injection or manual failed tiles)
+ *    must never place crossbars or schedule work on an unusable tile,
+ *    and killed tiles must hold zero bank usage. Skipped on healthy
+ *    runs — the verdict of a fault-free simulation is unchanged.
  *
  * Checks run after a simulation, over its immutable outputs; they never
  * mutate anything. Wire-up: SimulationSession::auditWith() /
@@ -57,6 +61,9 @@ struct AuditOptions {
     bool zeros = true;
     /** (d) validateMapping() on the compiled mapping. */
     bool mapping = true;
+    /** (e) degraded runs never touch unusable tiles (skipped when the
+     *  run is healthy: no fault map and no manual failed tiles). */
+    bool faults = true;
     /** Relative tolerance for floating-point sum comparisons. */
     double relTolerance = 1e-9;
 

@@ -93,10 +93,21 @@ class IterationBuilder
     std::vector<std::size_t>
     opResources(const MappedOp &op) const
     {
+        // Walk the tiles the allocator actually reserved, not tileCount
+        // consecutive tiles from tileStart: when faults retire tiles the
+        // allocation skips them, and work must never be scheduled on a
+        // killed tile's compute resource (the audit pins this).
         std::vector<std::size_t> resources;
-        for (int t = 0; t < op.tileCount; ++t) {
-            const int tile = (op.tileStart + t) % params().tilesPerBank;
+        for (int tile : op.allocation.tiles())
             resources.push_back(machine_.tileComputeRes(op.bank, tile));
+        if (resources.empty()) {
+            // Fully oversubscribed op with no pinned ranges: fall back
+            // to the nominal tile group.
+            for (int t = 0; t < op.tileCount; ++t) {
+                const int tile =
+                    (op.tileStart + t) % params().tilesPerBank;
+                resources.push_back(machine_.tileComputeRes(op.bank, tile));
+            }
         }
         return resources;
     }
@@ -597,6 +608,23 @@ LerGanAccelerator::trainIterationImpl(Tracer *tracer)
     report.crossbarsUsed = compiled_->crossbarsUsed;
     report.compileMs = compiled_->compileMs;
     report.compileMsTraditional = compiled_->compileMsTraditional;
+    if (compiled_->faultImpact.active) {
+        // Degradation accounting rides the normal stats channel so the
+        // sweep exporters and the Monte Carlo aggregator see it without
+        // a side channel. Healthy runs emit nothing (byte-identical
+        // reports with the fault-unaware simulator).
+        const FaultImpact &impact = compiled_->faultImpact;
+        report.stats.set("fault.killed_tiles",
+                         static_cast<double>(impact.killedTiles));
+        report.stats.set("fault.dead_crossbars",
+                         static_cast<double>(impact.deadCrossbars));
+        report.stats.set("fault.capacity_lost_xbars",
+                         static_cast<double>(impact.capacityLostCrossbars));
+        report.stats.set("fault.capacity_lost_frac",
+                         impact.capacityLostFraction);
+        report.stats.set("fault.remapped_xbars",
+                         static_cast<double>(impact.remappedCrossbars));
+    }
     return report;
 }
 

@@ -25,6 +25,14 @@ SimulationSession::auditWith(AuditOptions options)
     return *this;
 }
 
+SimulationSession &
+SimulationSession::withFaults(const FaultConfig &faults)
+{
+    faults.checkUsable();
+    config_.faults = faults;
+    return *this;
+}
+
 TrainingReport
 SimulationSession::runImpl(const GanModel &model, int iterations,
                            const AuditOptions &options,

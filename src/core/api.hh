@@ -88,6 +88,17 @@ class SimulationSession
     SimulationSession &auditWith(AuditOptions options);
 
     /**
+     * Inject @p faults into every subsequent run() of this session:
+     * replaces config().faults, so compiled mappings degrade around the
+     * sampled fault map (stuck cells/columns, killed tiles, wear).
+     * Distinct fault configs are distinct cache keys — switching fault
+     * rates never aliases a healthy compiled mapping. Not thread-safe
+     * against concurrent run() calls; configure before handing the
+     * session out.
+     */
+    SimulationSession &withFaults(const FaultConfig &faults);
+
+    /**
      * Simulate and audit @p model, returning the verdict instead of
      * throwing — for tooling that wants the full finding list. Always
      * audits (every check on), regardless of auditWith(). The audited

@@ -4,12 +4,28 @@
 #include <array>
 #include <map>
 #include <ostream>
+#include <sstream>
+#include <stdexcept>
 
 #include "common/logging.hh"
+#include "faults/fault_model.hh"
+#include "faults/wear.hh"
 
 namespace lergan {
 
 namespace {
+
+/**
+ * The concrete tile damage one compile must place around: tiles to
+ * retire entirely and per-tile crossbar capacity reductions. A plain
+ * compile uses the manual failedTiles list and nothing else; a
+ * fault-injected compile derives the plan from a materialized FaultMap.
+ */
+struct FaultPlan {
+    std::vector<std::pair<int, int>> killed;
+    /** deadXbars[bank][tile] on surviving tiles (empty = none). */
+    std::vector<std::vector<std::uint64_t>> deadXbars;
+};
 
 /**
  * Weight elements the ZFDR mapping of the layer behind @p op would
@@ -195,8 +211,12 @@ bankForPhase(Phase phase)
     return 0;
 }
 
+namespace {
+
+/** The placement pipeline, parameterized by the fault plan. */
 CompiledGan
-compileGan(const GanModel &model, const AcceleratorConfig &config)
+compileGanImpl(const GanModel &model, const AcceleratorConfig &config,
+               const FaultPlan &plan)
 {
     const CrossbarGeom geom;
     ReplicaCostParams replica_params;
@@ -373,8 +393,20 @@ compileGan(const GanModel &model, const AcceleratorConfig &config)
     CArrayAllocator allocator(6 * config.cuPairs,
                               config.reram.tilesPerBank,
                               config.reram.crossbarsPerTile());
-    for (const auto &[bank, tile] : config.failedTiles)
+    for (const auto &[bank, tile] : plan.killed)
         allocator.markFailed(bank, tile);
+    for (std::size_t bank = 0; bank < plan.deadXbars.size(); ++bank) {
+        for (std::size_t tile = 0; tile < plan.deadXbars[bank].size();
+             ++tile) {
+            if (plan.deadXbars[bank][tile] > 0 &&
+                !allocator.isFailed(static_cast<int>(bank),
+                                    static_cast<int>(tile))) {
+                allocator.reduceCapacity(static_cast<int>(bank),
+                                         static_cast<int>(tile),
+                                         plan.deadXbars[bank][tile]);
+            }
+        }
+    }
 
     // Contiguous layer blocks per CU pair, balanced by crossbar demand
     // (volumetric GANs concentrate their crossbars in a few layers, so a
@@ -451,6 +483,134 @@ compileGan(const GanModel &model, const AcceleratorConfig &config)
     }
 
     modelCompileTime(model, compiled);
+    return compiled;
+}
+
+} // namespace
+
+WearInputs
+compiledWriteDensities(const CompiledGan &compiled,
+                       const AcceleratorConfig &config)
+{
+    WearInputs inputs;
+    inputs.cellsPerTile = config.reram.carrayWeightsPerTile();
+    inputs.writesPerIteration.assign(
+        static_cast<std::size_t>(6) * config.cuPairs,
+        std::vector<double>(config.reram.tilesPerBank, 0.0));
+    for (const CompiledPhase &phase : compiled.phases) {
+        for (const MappedOp &mapped : phase.ops) {
+            const double writes =
+                static_cast<double>(mapped.cost.weightElems) *
+                (mapped.perItemWrite
+                     ? static_cast<double>(config.batchSize)
+                     : 1.0);
+            const std::uint64_t reserved = mapped.allocation.reserved();
+            if (writes <= 0.0 || reserved == 0)
+                continue;
+            for (const CrossbarRange &range : mapped.allocation.ranges) {
+                if (range.count == 0)
+                    continue;
+                inputs.writesPerIteration[range.bank][range.tile] +=
+                    writes * static_cast<double>(range.count) /
+                    static_cast<double>(reserved);
+            }
+        }
+    }
+    return inputs;
+}
+
+CompiledGan
+compileGan(const GanModel &model, const AcceleratorConfig &config)
+{
+    if (!config.faults.any()) {
+        // Zero-fault path: bit-exact with the fault-unaware compiler.
+        // Manual failedTiles keep their legacy route-around behavior.
+        FaultPlan plan;
+        plan.killed = config.failedTiles;
+        return compileGanImpl(model, config, plan);
+    }
+
+    config.faults.checkUsable();
+
+    // The healthy placement of the same pair anchors the degradation
+    // accounting (remap traffic) and the wear model's write densities.
+    AcceleratorConfig healthy_config = config;
+    healthy_config.faults = FaultConfig{};
+    healthy_config.failedTiles.clear();
+    const CompiledGan healthy =
+        compileGanImpl(model, healthy_config, FaultPlan{});
+
+    const FaultGeometry geometry =
+        faultGeometry(config.cuPairs, config.reram);
+    FaultMap map = buildFaultMap(geometry, config.faults);
+    if (config.faults.priorIterations > 0.0) {
+        applyWear(map,
+                  computeWearMap(compiledWriteDensities(healthy, config),
+                                      config.faults.priorIterations,
+                                      config.faults.cellEndurance));
+    }
+    for (const auto &[bank, tile] : config.failedTiles) {
+        LERGAN_ASSERT(bank >= 0 && bank < geometry.banks && tile >= 0 &&
+                          tile < geometry.tilesPerBank,
+                      "failedTiles entry out of range");
+        map.tiles[bank][tile].killed = true;
+    }
+
+    // Graceful failure, not a crash: a bank with no live tiles cannot
+    // host its phase at all, so the point fails as a user-visible error
+    // (sweeps record it as a failed SweepResult and move on).
+    for (int bank = 0; bank < geometry.banks; ++bank) {
+        if (map.killedInBank(bank) == geometry.tilesPerBank) {
+            std::ostringstream oss;
+            oss << "fault map kills every tile of bank " << bank
+                << " (seed " << config.faults.seed
+                << "): the mapping cannot degrade gracefully";
+            throw std::invalid_argument(oss.str());
+        }
+    }
+
+    FaultPlan plan;
+    plan.killed = map.killedTiles();
+    plan.deadXbars.assign(
+        geometry.banks,
+        std::vector<std::uint64_t>(geometry.tilesPerBank, 0));
+    for (int bank = 0; bank < geometry.banks; ++bank) {
+        for (int tile = 0; tile < geometry.tilesPerBank; ++tile) {
+            if (!map.tiles[bank][tile].killed)
+                plan.deadXbars[bank][tile] =
+                    std::min(map.tiles[bank][tile].deadCrossbars,
+                             geometry.crossbarsPerTile);
+        }
+    }
+
+    CompiledGan compiled = compileGanImpl(model, config, plan);
+
+    FaultImpact &impact = compiled.faultImpact;
+    impact.active = true;
+    impact.killedTiles = plan.killed.size();
+    impact.unusableTiles = plan.killed;
+    for (int bank = 0; bank < geometry.banks; ++bank) {
+        for (int tile = 0; tile < geometry.tilesPerBank; ++tile) {
+            const std::uint64_t dead = plan.deadXbars[bank][tile];
+            impact.deadCrossbars += dead;
+            const std::uint64_t healthy_used =
+                healthy.bankUsage[bank][tile];
+            if (map.tiles[bank][tile].killed) {
+                // Everything the healthy placement stored here moves.
+                impact.remappedCrossbars += healthy_used;
+            } else if (healthy_used + dead > geometry.crossbarsPerTile) {
+                // The reduced tile no longer fits its healthy share.
+                impact.remappedCrossbars +=
+                    healthy_used + dead - geometry.crossbarsPerTile;
+            }
+        }
+    }
+    impact.capacityLostCrossbars =
+        impact.killedTiles * geometry.crossbarsPerTile +
+        impact.deadCrossbars;
+    impact.capacityLostFraction =
+        static_cast<double>(impact.capacityLostCrossbars) /
+        static_cast<double>(map.totalCrossbars());
     return compiled;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/config.hh"
+#include "faults/wear.hh"
 #include "nn/training.hh"
 #include "reram/allocator.hh"
 #include "zfdr/cost.hh"
@@ -55,6 +56,31 @@ struct CompiledPhase {
     std::vector<MappedOp> ops;
 };
 
+/**
+ * Graceful-degradation accounting of a fault-injected compile: what the
+ * fault map cost this mapping, re-derived against the healthy placement
+ * of the same (model, config-without-faults) pair.
+ */
+struct FaultImpact {
+    /** True when a fault map was materialized for this compile. */
+    bool active = false;
+    /** Tiles removed entirely (kill faults, wear-out, manual list). */
+    std::uint64_t killedTiles = 0;
+    /** Crossbars disabled on tiles that survived. */
+    std::uint64_t deadCrossbars = 0;
+    /** Crossbars of capacity lost machine-wide (killed + dead). */
+    std::uint64_t capacityLostCrossbars = 0;
+    /** capacityLostCrossbars over the machine's total crossbars. */
+    double capacityLostFraction = 0.0;
+    /**
+     * Crossbars the healthy placement had put on now-unusable tiles —
+     * the remap traffic the fault forces through the allocator.
+     */
+    std::uint64_t remappedCrossbars = 0;
+    /** Every unusable tile, bank-major (killed + manual failedTiles). */
+    std::vector<std::pair<int, int>> unusableTiles;
+};
+
 /** A fully compiled GAN. */
 struct CompiledGan {
     /** The six phases, indexed in kAllPhases order. */
@@ -75,6 +101,8 @@ struct CompiledGan {
     std::vector<std::vector<std::uint64_t>> bankUsage;
     /** Crossbars beyond physical capacity (time-shared if non-zero). */
     std::uint64_t oversubscribedCrossbars = 0;
+    /** Degradation accounting of a fault-injected compile. */
+    FaultImpact faultImpact;
 
     const CompiledPhase &phase(Phase phase) const;
 
@@ -88,6 +116,15 @@ int bankForPhase(Phase phase);
 /** Compile @p model for @p config. */
 CompiledGan compileGan(const GanModel &model,
                        const AcceleratorConfig &config);
+
+/**
+ * Per-tile weight-write densities of @p compiled — the wear model's
+ * inputs (faults/wear.hh). Kernel copies rewrite once per update;
+ * per-item-write ops program once per minibatch item; replicas multiply
+ * both, which is how the ZFDR duplication degree feeds wear.
+ */
+WearInputs compiledWriteDensities(const CompiledGan &compiled,
+                                  const AcceleratorConfig &config);
 
 } // namespace lergan
 

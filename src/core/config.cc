@@ -24,6 +24,33 @@ AcceleratorConfig::degreeFor(Phase phase) const
 }
 
 void
+FaultConfig::checkUsable() const
+{
+    const auto check_rate = [](const char *name, double value) {
+        if (!(value >= 0.0 && value <= 1.0))
+            throw std::invalid_argument(
+                std::string(name) + " must be in [0, 1], got " +
+                std::to_string(value));
+    };
+    check_rate("faults.cellStuckRate", cellStuckRate);
+    check_rate("faults.stuckAtLrsShare", stuckAtLrsShare);
+    check_rate("faults.columnStuckRate", columnStuckRate);
+    check_rate("faults.tileKillRate", tileKillRate);
+    check_rate("faults.cellTolerance", cellTolerance);
+    check_rate("faults.columnTolerance", columnTolerance);
+    check_rate("faults.tileDeadCrossbarTolerance",
+               tileDeadCrossbarTolerance);
+    if (priorIterations < 0.0)
+        throw std::invalid_argument(
+            "faults.priorIterations must be >= 0, got " +
+            std::to_string(priorIterations));
+    if (cellEndurance <= 0.0)
+        throw std::invalid_argument(
+            "faults.cellEndurance must be positive, got " +
+            std::to_string(cellEndurance));
+}
+
+void
 AcceleratorConfig::checkUsable() const
 {
     if (batchSize <= 0)
@@ -36,6 +63,7 @@ AcceleratorConfig::checkUsable() const
     if (normalizedSpace && spaceBudgetCrossbars == 0)
         throw std::invalid_argument(
             "normalizedSpace needs a spaceBudgetCrossbars budget");
+    faults.checkUsable();
 }
 
 std::string

@@ -41,6 +41,56 @@ enum class ReshapeMode {
 /** @return "ZFDR" or "NR". */
 const char *reshapeModeName(ReshapeMode mode);
 
+/**
+ * Seeded ReRAM fault-injection and variation knobs.
+ *
+ * The fault layer (src/faults) expands these rates into a deterministic
+ * per-tile FaultMap at compile time: stuck-at cells and stuck-at
+ * columns disable individual crossbars (the tile survives with reduced
+ * capacity), tile-kill faults and wear-out remove whole tiles, and the
+ * allocator reroutes the mapping around the dead hardware. The same
+ * seed always produces the byte-identical map, so every degraded run is
+ * reproducible and Monte Carlo trials are just a seed sweep.
+ */
+struct FaultConfig {
+    /** Base RNG seed; trial t of a Monte Carlo sweep mixes in t. */
+    std::uint64_t seed = 0;
+    /** Per-cell stuck-at fault probability (LRS or HRS). */
+    double cellStuckRate = 0.0;
+    /** Of the stuck cells, the share stuck at LRS (rest are HRS). */
+    double stuckAtLrsShare = 0.5;
+    /** Per-bitline-column stuck-at fault probability. */
+    double columnStuckRate = 0.0;
+    /** Per-tile hard-kill probability (peripheral/driver defects). */
+    double tileKillRate = 0.0;
+    /** Faulty-cell fraction one crossbar tolerates before it is dead. */
+    double cellTolerance = 0.02;
+    /** Dead-column fraction one crossbar tolerates before it is dead. */
+    double columnTolerance = 0.05;
+    /** Dead-crossbar fraction that retires the whole tile. */
+    double tileDeadCrossbarTolerance = 0.5;
+    /**
+     * Wear model: training iterations this device already absorbed.
+     * Tiles whose hottest cells exceed @ref cellEndurance writes are
+     * worn out; the ZFDR replica policy feeds in directly because every
+     * stored copy is rewritten on every update (reram/endurance.hh).
+     */
+    double priorIterations = 0.0;
+    /** Write cycles one cell survives (paper Sec. II-A: 1e10..1e12). */
+    double cellEndurance = 1e10;
+
+    /** True when any fault class can actually trigger. */
+    bool
+    any() const
+    {
+        return cellStuckRate > 0.0 || columnStuckRate > 0.0 ||
+               tileKillRate > 0.0 || priorIterations > 0.0;
+    }
+
+    /** Throw std::invalid_argument for out-of-range user values. */
+    void checkUsable() const;
+};
+
 /** One accelerator configuration. */
 struct AcceleratorConfig {
     Connection connection = Connection::ThreeD;
@@ -90,6 +140,14 @@ struct AcceleratorConfig {
      * crossbars on (defective or worn-out tiles).
      */
     std::vector<std::pair<int, int>> failedTiles;
+
+    /**
+     * Seeded fault/variation injection. With any rate non-zero the
+     * compiler materializes a deterministic FaultMap from the seed,
+     * kills/shrinks the affected tiles, reroutes the mapping and
+     * records the degradation in CompiledGan::faultImpact.
+     */
+    FaultConfig faults;
 
     /** Effective duplication degree for @p phase. */
     ReplicaDegree degreeFor(Phase phase) const;

@@ -27,6 +27,7 @@
 #include "core/accelerator.hh"
 #include "exec/engine.hh"
 #include "exec/model_cache.hh"
+#include "faults/fault_stats.hh"
 
 namespace lergan {
 
@@ -48,6 +49,11 @@ struct SweepResult {
      * export; an audit failure is a simulator bug, not a user error.
      */
     AuditVerdict audit;
+    /**
+     * Monte Carlo trial distributions (faults.ran() is false unless the
+     * point came out of a FaultMonteCarlo run, faults/montecarlo.hh).
+     */
+    FaultSweepStats faults;
 };
 
 /** A grid of benchmarks x configurations (plus explicit extra points). */

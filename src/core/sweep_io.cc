@@ -11,6 +11,19 @@ namespace {
  * is wrapped in quotes with embedded quotes doubled. Everything else
  * passes through unchanged (so ordinary exports stay byte-stable).
  */
+/** Emit one TrialDistribution as a JSON object. */
+void
+writeDistribution(JsonWriter &json, const char *key,
+                  const TrialDistribution &dist)
+{
+    json.key(key).beginObject();
+    json.key("mean").value(dist.mean);
+    json.key("p95").value(dist.p95);
+    json.key("min").value(dist.min);
+    json.key("max").value(dist.max);
+    json.endObject();
+}
+
 std::string
 csvField(const std::string &text)
 {
@@ -42,6 +55,17 @@ writeSweepJson(std::ostream &os, const std::vector<SweepResult> &results)
         if (result.failed) {
             json.key("failed").value(true);
             json.key("error").value(result.error);
+            if (result.faults.ran()) {
+                // A Monte Carlo point whose every trial failed still
+                // reports how many trials it attempted.
+                json.key("faults").beginObject();
+                json.key("trials").value(
+                    static_cast<std::uint64_t>(result.faults.trials));
+                json.key("failed_trials")
+                    .value(static_cast<std::uint64_t>(
+                        result.faults.failedTrials));
+                json.endObject();
+            }
             json.endObject();
             continue;
         }
@@ -50,6 +74,20 @@ writeSweepJson(std::ostream &os, const std::vector<SweepResult> &results)
             .value(pjToMj(result.report.totalEnergyPj()));
         json.key("crossbars").value(result.crossbarsUsed);
         json.key("oversubscribed").value(result.oversubscribed);
+        if (result.faults.ran()) {
+            json.key("faults").beginObject();
+            json.key("trials").value(
+                static_cast<std::uint64_t>(result.faults.trials));
+            json.key("failed_trials").value(static_cast<std::uint64_t>(
+                result.faults.failedTrials));
+            writeDistribution(json, "ms_per_iteration",
+                              result.faults.msPerIteration);
+            writeDistribution(json, "mj_per_iteration",
+                              result.faults.mjPerIteration);
+            writeDistribution(json, "capacity_lost",
+                              result.faults.capacityLost);
+            json.endObject();
+        }
         if (result.audit.ran) {
             json.key("audit").beginObject();
             json.key("ok").value(result.audit.ok());
@@ -82,9 +120,20 @@ writeSweepJson(std::ostream &os, const std::vector<SweepResult> &results)
 void
 writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results)
 {
+    // Monte Carlo columns appear only when some result carries trial
+    // distributions, so plain sweeps export the exact historical shape.
+    bool any_faults = false;
+    for (const SweepResult &result : results)
+        any_faults = any_faults || result.faults.ran();
+
     os << "benchmark,config,ms_per_iteration,mj_per_iteration,"
           "crossbars,oversubscribed,energy_compute_pj,energy_comm_pj,"
-          "energy_update_pj,error\n";
+          "energy_update_pj,error";
+    if (any_faults) {
+        os << ",trials,failed_trials,ms_mean,ms_p95,mj_mean,mj_p95,"
+              "capacity_lost_mean,capacity_lost_p95";
+    }
+    os << '\n';
     for (const SweepResult &result : results) {
         os << csvField(result.benchmark) << ','
            << csvField(result.configLabel) << ',';
@@ -92,7 +141,16 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results)
             // No metrics exist for a failed point; emitting a
             // default-constructed report's zeros would be
             // indistinguishable from real values.
-            os << ",,,,,,," << csvField(result.error) << '\n';
+            os << ",,,,,,," << csvField(result.error);
+            if (any_faults) {
+                if (result.faults.ran()) {
+                    os << ',' << result.faults.trials << ','
+                       << result.faults.failedTrials << ",,,,,,";
+                } else {
+                    os << ",,,,,,,,";
+                }
+            }
+            os << '\n';
             continue;
         }
         os << result.report.timeMs() << ','
@@ -100,7 +158,22 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results)
            << result.crossbarsUsed << ',' << result.oversubscribed << ','
            << result.report.computeEnergyPj() << ','
            << result.report.commEnergyPj() << ','
-           << result.report.stats.get("energy.update") << ",\n";
+           << result.report.stats.get("energy.update") << ',';
+        if (any_faults) {
+            if (result.faults.ran()) {
+                os << ',' << result.faults.trials << ','
+                   << result.faults.failedTrials << ','
+                   << result.faults.msPerIteration.mean << ','
+                   << result.faults.msPerIteration.p95 << ','
+                   << result.faults.mjPerIteration.mean << ','
+                   << result.faults.mjPerIteration.p95 << ','
+                   << result.faults.capacityLost.mean << ','
+                   << result.faults.capacityLost.p95;
+            } else {
+                os << ",,,,,,,,";
+            }
+        }
+        os << '\n';
     }
 }
 

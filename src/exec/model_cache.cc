@@ -52,6 +52,17 @@ configFingerprint(const AcceleratorConfig &config)
     oss << "|ft:";
     for (const auto &[bank, tile] : config.failedTiles)
         oss << bank << '.' << tile << ',';
+    oss << "|flt:";
+    oss.precision(17);
+    oss << config.faults.seed << ',' << config.faults.cellStuckRate << ','
+        << config.faults.stuckAtLrsShare << ','
+        << config.faults.columnStuckRate << ','
+        << config.faults.tileKillRate << ','
+        << config.faults.cellTolerance << ','
+        << config.faults.columnTolerance << ','
+        << config.faults.tileDeadCrossbarTolerance << ','
+        << config.faults.priorIterations << ','
+        << config.faults.cellEndurance;
     oss << "|reram:";
     // Round-trips every tunable as "key = value" text, so two configs
     // fingerprint equal iff all device parameters agree.

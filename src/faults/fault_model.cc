@@ -1,0 +1,239 @@
+#include "faults/fault_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+namespace {
+
+/** splitmix64 step — decorrelates the user seed from the rate knobs. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Standard normal deviate via Box-Muller (two uniform draws). */
+double
+sampleGaussian(Rng &rng)
+{
+    // Guard the log: nextDouble() is in [0, 1).
+    const double u1 = 1.0 - rng.nextDouble();
+    const double u2 = rng.nextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+} // namespace
+
+double
+binomialTailAbove(std::uint64_t n, double p, std::uint64_t k)
+{
+    if (n == 0 || p <= 0.0)
+        return 0.0;
+    if (p >= 1.0)
+        return k < n ? 1.0 : 0.0;
+    if (k >= n)
+        return 0.0;
+
+    if (n <= 4096) {
+        // Exact: sum P[X = i] for i in (k, n] in log space.
+        double tail = 0.0;
+        double log_pmf = static_cast<double>(n) * std::log1p(-p); // P[X=0]
+        const double logit = std::log(p) - std::log1p(-p);
+        for (std::uint64_t i = 1; i <= n; ++i) {
+            log_pmf += std::log(static_cast<double>(n - i + 1)) -
+                       std::log(static_cast<double>(i)) + logit;
+            if (i > k)
+                tail += std::exp(log_pmf);
+        }
+        return std::clamp(tail, 0.0, 1.0);
+    }
+
+    // Normal approximation with continuity correction.
+    const double mean = static_cast<double>(n) * p;
+    const double sd = std::sqrt(mean * (1.0 - p));
+    if (sd == 0.0)
+        return mean > static_cast<double>(k) ? 1.0 : 0.0;
+    const double z = (static_cast<double>(k) + 0.5 - mean) / sd;
+    return std::clamp(0.5 * std::erfc(z / std::sqrt(2.0)), 0.0, 1.0);
+}
+
+std::uint64_t
+sampleBinomial(Rng &rng, std::uint64_t n, double p)
+{
+    if (n == 0 || p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return n;
+    const double mean = static_cast<double>(n) * p;
+    if (n <= 64) {
+        // Direct Bernoulli trials.
+        std::uint64_t count = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            count += rng.nextDouble() < p ? 1 : 0;
+        return count;
+    }
+    if (mean < 16.0) {
+        // Poisson-limit inversion (small expected counts).
+        const double limit = std::exp(-mean);
+        double product = rng.nextDouble();
+        std::uint64_t count = 0;
+        while (product > limit && count < n) {
+            ++count;
+            product *= rng.nextDouble();
+        }
+        return std::min(count, n);
+    }
+    // Normal approximation, rounded and clamped.
+    const double sd = std::sqrt(mean * (1.0 - p));
+    const double draw = mean + sd * sampleGaussian(rng);
+    if (draw <= 0.0)
+        return 0;
+    if (draw >= static_cast<double>(n))
+        return n;
+    return static_cast<std::uint64_t>(std::llround(draw));
+}
+
+FaultGeometry
+faultGeometry(int cu_pairs, const ReRamParams &params)
+{
+    LERGAN_ASSERT(cu_pairs > 0, "faultGeometry: need at least one pair");
+    FaultGeometry geometry;
+    geometry.banks = 6 * cu_pairs;
+    geometry.tilesPerBank = params.tilesPerBank;
+    geometry.crossbarsPerTile = params.crossbarsPerTile();
+    return geometry;
+}
+
+std::vector<std::pair<int, int>>
+FaultMap::killedTiles() const
+{
+    std::vector<std::pair<int, int>> killed;
+    for (int bank = 0; bank < geometry.banks; ++bank)
+        for (int tile = 0; tile < geometry.tilesPerBank; ++tile)
+            if (tiles[bank][tile].killed)
+                killed.emplace_back(bank, tile);
+    return killed;
+}
+
+int
+FaultMap::killedInBank(int bank) const
+{
+    int killed = 0;
+    for (const TileFaults &tile : tiles[bank])
+        killed += tile.killed ? 1 : 0;
+    return killed;
+}
+
+std::uint64_t
+FaultMap::lostCrossbars() const
+{
+    std::uint64_t lost = 0;
+    for (const auto &bank : tiles) {
+        for (const TileFaults &tile : bank) {
+            lost += tile.killed
+                        ? geometry.crossbarsPerTile
+                        : std::min(tile.deadCrossbars,
+                                   geometry.crossbarsPerTile);
+        }
+    }
+    return lost;
+}
+
+std::uint64_t
+FaultMap::totalCrossbars() const
+{
+    return static_cast<std::uint64_t>(geometry.banks) *
+           geometry.tilesPerBank * geometry.crossbarsPerTile;
+}
+
+std::string
+FaultMap::serialize() const
+{
+    std::ostringstream oss;
+    oss.precision(17);
+    oss << "faultmap b" << geometry.banks << " t" << geometry.tilesPerBank
+        << " x" << geometry.crossbarsPerTile << '\n';
+    for (int bank = 0; bank < geometry.banks; ++bank) {
+        for (int tile = 0; tile < geometry.tilesPerBank; ++tile) {
+            const TileFaults &f = tiles[bank][tile];
+            if (f.stuckCells == 0 && f.stuckColumns == 0 &&
+                f.deadCrossbars == 0 && f.wear == 0.0 && !f.killed) {
+                continue; // healthy tiles stay implicit
+            }
+            oss << bank << '.' << tile << ": cells=" << f.stuckCells
+                << " lrs=" << f.stuckLrsCells
+                << " cols=" << f.stuckColumns
+                << " deadx=" << f.deadCrossbars << " wear=" << f.wear
+                << (f.killed ? " KILLED" : "") << '\n';
+        }
+    }
+    return oss.str();
+}
+
+FaultMap
+buildFaultMap(const FaultGeometry &geometry, const FaultConfig &config)
+{
+    LERGAN_ASSERT(geometry.banks > 0 && geometry.tilesPerBank > 0 &&
+                      geometry.crossbarsPerTile > 0,
+                  "buildFaultMap: invalid geometry");
+    FaultMap map;
+    map.geometry = geometry;
+    map.tiles.assign(geometry.banks,
+                     std::vector<TileFaults>(geometry.tilesPerBank));
+
+    // Probability that one crossbar dies of cell faults: more than the
+    // tolerated fraction of its cells stuck. Computed once — it is a
+    // property of the rates, not of the sampling.
+    const auto tolerated_cells = static_cast<std::uint64_t>(
+        config.cellTolerance *
+        static_cast<double>(geometry.cellsPerCrossbar));
+    const double p_dead_cells = binomialTailAbove(
+        geometry.cellsPerCrossbar, config.cellStuckRate, tolerated_cells);
+    const auto tolerated_cols = static_cast<std::uint64_t>(
+        config.columnTolerance *
+        static_cast<double>(geometry.columnsPerCrossbar));
+    const double p_dead_cols =
+        binomialTailAbove(geometry.columnsPerCrossbar,
+                          config.columnStuckRate, tolerated_cols);
+
+    const std::uint64_t cells_per_tile =
+        geometry.crossbarsPerTile * geometry.cellsPerCrossbar;
+    const std::uint64_t cols_per_tile =
+        geometry.crossbarsPerTile * geometry.columnsPerCrossbar;
+    const double dead_xbar_limit =
+        config.tileDeadCrossbarTolerance *
+        static_cast<double>(geometry.crossbarsPerTile);
+
+    Rng rng(mix(config.seed));
+    for (int bank = 0; bank < geometry.banks; ++bank) {
+        for (int tile = 0; tile < geometry.tilesPerBank; ++tile) {
+            TileFaults &f = map.tiles[bank][tile];
+            f.killed = rng.nextDouble() < config.tileKillRate;
+            f.stuckCells =
+                sampleBinomial(rng, cells_per_tile, config.cellStuckRate);
+            f.stuckLrsCells = sampleBinomial(rng, f.stuckCells,
+                                             config.stuckAtLrsShare);
+            f.stuckColumns = sampleBinomial(rng, cols_per_tile,
+                                            config.columnStuckRate);
+            const std::uint64_t dead =
+                sampleBinomial(rng, geometry.crossbarsPerTile,
+                               p_dead_cells) +
+                sampleBinomial(rng, geometry.crossbarsPerTile, p_dead_cols);
+            f.deadCrossbars = std::min(dead, geometry.crossbarsPerTile);
+            if (static_cast<double>(f.deadCrossbars) > dead_xbar_limit)
+                f.killed = true;
+        }
+    }
+    return map;
+}
+
+} // namespace lergan

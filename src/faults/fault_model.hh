@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic, seed-driven ReRAM fault-map generation.
+ *
+ * Related work on memristive GAN accelerators (AM-DCGAN, the
+ * passive-RRAM GAN study) identifies device variation and stuck-at
+ * faults as the first-order threat to this class of hardware. This
+ * module turns a FaultConfig's rates into a concrete per-tile FaultMap:
+ *
+ *  - stuck-at-LRS/HRS *cells*: a crossbar whose faulty-cell fraction
+ *    exceeds the cell tolerance cannot hold weights and is dead;
+ *  - stuck-at *columns* (bitline shorts): a crossbar with too many dead
+ *    columns loses its MMV outputs and is dead;
+ *  - *tile-kill* faults: peripheral/driver defects retire a whole tile;
+ *  - a tile whose dead-crossbar fraction exceeds the tile tolerance is
+ *    retired too (not enough live arrays to be worth routing to).
+ *
+ * Everything is a pure function of (geometry, FaultConfig): the same
+ * seed produces the byte-identical map (serialize() pins this in the
+ * tests), so degraded runs are exactly reproducible and Monte Carlo
+ * robustness sweeps are just seed sweeps. Wear-out faults are layered
+ * on separately (faults/wear.hh) because they depend on the compiled
+ * mapping's write densities, not on sampling.
+ */
+
+#ifndef LERGAN_FAULTS_FAULT_MODEL_HH
+#define LERGAN_FAULTS_FAULT_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.hh"
+#include "core/config.hh"
+#include "reram/params.hh"
+
+namespace lergan {
+
+/** Physical extent the fault sampler covers. */
+struct FaultGeometry {
+    int banks = 6;
+    int tilesPerBank = 16;
+    std::uint64_t crossbarsPerTile = 8192;
+    std::uint64_t cellsPerCrossbar = 128ull * 128ull;
+    std::uint64_t columnsPerCrossbar = 128;
+};
+
+/** Geometry of @p config's machine (6 banks per CU pair). */
+FaultGeometry faultGeometry(int cu_pairs, const ReRamParams &params);
+
+/** Sampled faults of one tile. */
+struct TileFaults {
+    /** Stuck-at cells in the tile (LRS + HRS). */
+    std::uint64_t stuckCells = 0;
+    /** Of those, cells stuck at LRS (low resistance, reads as max). */
+    std::uint64_t stuckLrsCells = 0;
+    /** Stuck bitline columns in the tile. */
+    std::uint64_t stuckColumns = 0;
+    /** Crossbars lost to cell/column faults (tile still alive). */
+    std::uint64_t deadCrossbars = 0;
+    /** Wear fraction of the hottest cells (1.0 = end of endurance). */
+    double wear = 0.0;
+    /** Whole tile unusable (kill fault, dead-crossbar or wear limit). */
+    bool killed = false;
+};
+
+/** Per-tile fault state of one machine. */
+struct FaultMap {
+    FaultGeometry geometry;
+    /** tiles[bank][tile]. */
+    std::vector<std::vector<TileFaults>> tiles;
+
+    /** Coordinates of every killed tile, bank-major. */
+    std::vector<std::pair<int, int>> killedTiles() const;
+
+    /** Killed tiles in one bank. */
+    int killedInBank(int bank) const;
+
+    /** Crossbars unusable map-wide (killed tiles + dead crossbars). */
+    std::uint64_t lostCrossbars() const;
+
+    /** Total crossbars of the geometry. */
+    std::uint64_t totalCrossbars() const;
+
+    /**
+     * Canonical byte representation (one line per faulty tile). Two
+     * maps built from the same seed and rates serialize identically —
+     * the determinism contract the tests pin.
+     */
+    std::string serialize() const;
+};
+
+/**
+ * Sample a fault map. Deterministic: the map is a pure function of
+ * (@p geometry, @p config) — the RNG is seeded from config.seed only.
+ * Wear is left at zero; layer it on with applyWear (faults/wear.hh).
+ */
+FaultMap buildFaultMap(const FaultGeometry &geometry,
+                       const FaultConfig &config);
+
+/**
+ * @name Deterministic distribution helpers
+ * Shared by the sampler and the wear model; exposed for tests.
+ */
+///@{
+
+/** P[Binomial(n, p) > k], exact for small n, normal-approx for large. */
+double binomialTailAbove(std::uint64_t n, double p, std::uint64_t k);
+
+/** One Binomial(n, p) sample from @p rng (normal-approx for large n). */
+std::uint64_t sampleBinomial(Rng &rng, std::uint64_t n, double p);
+
+///@}
+
+} // namespace lergan
+
+#endif // LERGAN_FAULTS_FAULT_MODEL_HH

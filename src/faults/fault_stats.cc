@@ -1,0 +1,28 @@
+#include "faults/fault_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lergan {
+
+TrialDistribution
+TrialDistribution::of(std::vector<double> samples)
+{
+    TrialDistribution dist;
+    if (samples.empty())
+        return dist;
+    std::sort(samples.begin(), samples.end());
+    double sum = 0.0;
+    for (double sample : samples)
+        sum += sample;
+    dist.mean = sum / static_cast<double>(samples.size());
+    // Nearest-rank percentile: deterministic, no interpolation.
+    const std::size_t rank = static_cast<std::size_t>(
+        std::ceil(0.95 * static_cast<double>(samples.size())));
+    dist.p95 = samples[std::max<std::size_t>(rank, 1) - 1];
+    dist.min = samples.front();
+    dist.max = samples.back();
+    return dist;
+}
+
+} // namespace lergan

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Aggregate statistics of a Monte Carlo robustness sweep.
+ *
+ * Kept free of core dependencies: core/sweep.hh embeds FaultSweepStats
+ * in SweepResult so the exporters can serialize trial distributions
+ * next to the per-point metrics, and the Monte Carlo driver
+ * (faults/montecarlo.hh) fills them in.
+ */
+
+#ifndef LERGAN_FAULTS_FAULT_STATS_HH
+#define LERGAN_FAULTS_FAULT_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace lergan {
+
+/** Summary of one sampled metric across Monte Carlo trials. */
+struct TrialDistribution {
+    double mean = 0.0;
+    /** 95th percentile (nearest-rank over the sorted samples). */
+    double p95 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    /**
+     * Summarize @p samples. Order-insensitive: the samples are sorted
+     * internally, so trial completion order cannot leak into the
+     * aggregate (the permutation-invariance property the tests pin).
+     */
+    static TrialDistribution of(std::vector<double> samples);
+};
+
+/** Monte Carlo aggregate of one (benchmark, config) sweep point. */
+struct FaultSweepStats {
+    /** Trials attempted (0 = this point was not a Monte Carlo point). */
+    int trials = 0;
+    /** Trials that failed outright (e.g. a fault map killed a bank). */
+    int failedTrials = 0;
+    /** Latency distribution over successful trials, ms/iteration. */
+    TrialDistribution msPerIteration;
+    /** Energy distribution over successful trials, mJ/iteration. */
+    TrialDistribution mjPerIteration;
+    /** CArray capacity lost to faults, fraction of machine crossbars. */
+    TrialDistribution capacityLost;
+
+    bool ran() const { return trials > 0; }
+};
+
+} // namespace lergan
+
+#endif // LERGAN_FAULTS_FAULT_STATS_HH

@@ -1,0 +1,138 @@
+#include "faults/montecarlo.hh"
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace lergan {
+
+namespace {
+
+/** splitmix64 finalizer — the repo's standard bit mixer. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+monteCarloTrialSeed(std::uint64_t base_seed, std::size_t point_index,
+                    int trial)
+{
+    // Two mixing rounds decorrelate (point, trial) lattices: adjacent
+    // trials of adjacent points must not share fault maps.
+    return mix64(mix64(base_seed + 0x632be59bd9b4e019ull * point_index) +
+                 static_cast<std::uint64_t>(trial));
+}
+
+FaultMonteCarlo &
+FaultMonteCarlo::addBenchmark(const GanModel &model)
+{
+    models_.push_back(model);
+    return *this;
+}
+
+FaultMonteCarlo &
+FaultMonteCarlo::addConfig(const std::string &label,
+                           const AcceleratorConfig &config)
+{
+    configs_.emplace_back(label, config);
+    return *this;
+}
+
+std::vector<SweepResult>
+FaultMonteCarlo::run(const MonteCarloOptions &options) const
+{
+    LERGAN_ASSERT(options.trials > 0, "need at least one trial");
+    LERGAN_ASSERT(!models_.empty() && !configs_.empty(),
+                  "Monte Carlo needs at least one benchmark and config");
+
+    // Every trial is one explicit sweep point whose config carries the
+    // trial seed; the sweep engine provides the worker pool, compiled-
+    // model caching and slot-indexed (order-independent) results.
+    ExperimentSweep sweep;
+    if (options.audit.enabled)
+        sweep.auditWith(options.audit);
+    std::size_t point_index = 0;
+    for (const GanModel &model : models_) {
+        for (const auto &[label, config] : configs_) {
+            for (int trial = 0; trial < options.trials; ++trial) {
+                AcceleratorConfig trial_config = config;
+                trial_config.faults.seed = monteCarloTrialSeed(
+                    options.baseSeed, point_index, trial);
+                sweep.addPoint(model, label, trial_config);
+            }
+            ++point_index;
+        }
+    }
+
+    RunOptions run_options;
+    run_options.threads = options.threads;
+    run_options.iterations = options.iterations;
+    run_options.onProgress = options.onProgress;
+    const std::vector<SweepResult> trials = sweep.run(run_options);
+
+    std::vector<SweepResult> results;
+    results.reserve(point_index);
+    const int n = options.trials;
+    for (std::size_t p = 0; p * n < trials.size(); ++p) {
+        SweepResult out;
+        out.faults.trials = n;
+        std::vector<double> ms, mj, cap;
+        ms.reserve(n);
+        mj.reserve(n);
+        cap.reserve(n);
+        bool have_representative = false;
+        for (int t = 0; t < n; ++t) {
+            const SweepResult &trial = trials[p * n + t];
+            if (trial.failed) {
+                // E.g. the fault map killed a whole bank: the trial is
+                // a data point ("this rate fails outright"), not an
+                // abort.
+                ++out.faults.failedTrials;
+                if (out.error.empty())
+                    out.error = trial.error;
+                continue;
+            }
+            ms.push_back(trial.report.timeMs());
+            mj.push_back(pjToMj(trial.report.totalEnergyPj()));
+            cap.push_back(
+                trial.report.stats.get("fault.capacity_lost_frac"));
+            if (!have_representative) {
+                // First successful trial (a fixed slot, not a race
+                // winner) represents the point's per-run fields.
+                have_representative = true;
+                out.benchmark = trial.benchmark;
+                out.configLabel = trial.configLabel;
+                out.report = trial.report;
+                out.crossbarsUsed = trial.crossbarsUsed;
+                out.oversubscribed = trial.oversubscribed;
+                out.audit = trial.audit;
+            }
+            if (trial.audit.ran && !trial.audit.ok() && out.audit.ok()) {
+                // Any failing audit outranks a passing representative:
+                // an invariant violation must not hide in the tail.
+                out.audit = trial.audit;
+            }
+        }
+        out.faults.msPerIteration = TrialDistribution::of(std::move(ms));
+        out.faults.mjPerIteration = TrialDistribution::of(std::move(mj));
+        out.faults.capacityLost = TrialDistribution::of(std::move(cap));
+        if (!have_representative) {
+            out.failed = true;
+            const SweepResult &first = trials[p * n];
+            out.benchmark = first.benchmark;
+            out.configLabel = first.configLabel;
+        } else {
+            out.error.clear();
+        }
+        results.push_back(std::move(out));
+    }
+    return results;
+}
+
+} // namespace lergan

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Seeded Monte Carlo robustness sweeps.
+ *
+ * A robustness experiment asks: given a fault model (FaultConfig rates),
+ * how does a configuration's latency/energy/capacity *distribution* look
+ * across fault-map realizations? Because fault maps are pure functions
+ * of their seed, a Monte Carlo run is just a seed sweep: every trial is
+ * one ordinary experiment point whose config carries a per-trial seed
+ * mixed from (base seed, point index, trial index). Trials therefore
+ * ride the normal parallel sweep engine — compiled-model cache, worker
+ * pool, per-point error capture — and the aggregates are deterministic
+ * for any worker count: trial results come back slot-indexed and every
+ * TrialDistribution sorts its samples before summarizing.
+ *
+ * This driver lives in src/faults but compiles into lergan_core (see
+ * faults/CMakeLists.txt): it needs the sweep engine above it, while the
+ * samplers below stay core-free.
+ */
+
+#ifndef LERGAN_FAULTS_MONTECARLO_HH
+#define LERGAN_FAULTS_MONTECARLO_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+
+namespace lergan {
+
+/** Options of one Monte Carlo run. */
+struct MonteCarloOptions {
+    /** Seeded fault-map realizations per (benchmark, config) point. */
+    int trials = 32;
+    /** Worker threads (0 = one per hardware thread). */
+    int threads = 1;
+    /** Training iterations simulated per trial. */
+    int iterations = 1;
+    /**
+     * Base seed of the run. Each trial's FaultConfig::seed is mixed
+     * from (baseSeed, point index, trial index), so two runs with the
+     * same base seed reproduce byte-identical results and two points
+     * never share a fault map by accident.
+     */
+    std::uint64_t baseSeed = 1;
+    /** Audit every trial under these options (enabled = run it). */
+    AuditOptions audit;
+    /** Progress hook, called as (trials done, trials total). */
+    ProgressFn onProgress;
+};
+
+/**
+ * A grid of benchmarks x fault-carrying configurations, each point run
+ * as MonteCarloOptions::trials seeded trials.
+ */
+class FaultMonteCarlo
+{
+  public:
+    /** Add a benchmark model to the grid. */
+    FaultMonteCarlo &addBenchmark(const GanModel &model);
+
+    /**
+     * Add a configuration to the grid. @p config.faults carries the
+     * fault rates; its seed field is overwritten per trial.
+     */
+    FaultMonteCarlo &addConfig(const std::string &label,
+                               const AcceleratorConfig &config);
+
+    /**
+     * Run the grid. Returns one SweepResult per (benchmark, config)
+     * point, benchmark-major, with SweepResult::faults aggregating the
+     * per-trial metrics: report/audit/crossbars fields are taken from
+     * the first successful trial (the representative realization), and
+     * a point whose every trial failed is a failed SweepResult carrying
+     * the first trial's error. Deterministic across worker counts.
+     */
+    std::vector<SweepResult> run(const MonteCarloOptions &options) const;
+
+  private:
+    std::vector<GanModel> models_;
+    std::vector<std::pair<std::string, AcceleratorConfig>> configs_;
+};
+
+/** The per-trial seed mix (exposed for tests). */
+std::uint64_t monteCarloTrialSeed(std::uint64_t base_seed,
+                                  std::size_t point_index, int trial);
+
+} // namespace lergan
+
+#endif // LERGAN_FAULTS_MONTECARLO_HH

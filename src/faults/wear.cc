@@ -1,0 +1,46 @@
+#include "faults/wear.hh"
+
+#include "common/logging.hh"
+
+namespace lergan {
+
+WearMap
+computeWearMap(const WearInputs &inputs, double prior_iterations,
+               double cell_endurance)
+{
+    LERGAN_ASSERT(inputs.cellsPerTile > 0, "wear needs tile capacity");
+    LERGAN_ASSERT(cell_endurance > 0.0, "wear needs positive endurance");
+    LERGAN_ASSERT(prior_iterations >= 0.0,
+                  "wear needs non-negative iterations");
+
+    WearMap wear(inputs.writesPerIteration.size());
+    for (std::size_t bank = 0; bank < wear.size(); ++bank) {
+        wear[bank].reserve(inputs.writesPerIteration[bank].size());
+        for (double writes : inputs.writesPerIteration[bank]) {
+            const double per_cell =
+                writes / static_cast<double>(inputs.cellsPerTile);
+            wear[bank].push_back(prior_iterations * per_cell /
+                                 cell_endurance);
+        }
+    }
+    return wear;
+}
+
+void
+applyWear(FaultMap &map, const WearMap &wear)
+{
+    LERGAN_ASSERT(wear.size() == map.tiles.size(),
+                  "applyWear: bank count mismatch");
+    for (std::size_t bank = 0; bank < wear.size(); ++bank) {
+        LERGAN_ASSERT(wear[bank].size() == map.tiles[bank].size(),
+                      "applyWear: tile count mismatch");
+        for (std::size_t tile = 0; tile < wear[bank].size(); ++tile) {
+            TileFaults &f = map.tiles[bank][tile];
+            f.wear = wear[bank][tile];
+            if (f.wear >= 1.0)
+                f.killed = true;
+        }
+    }
+}
+
+} // namespace lergan

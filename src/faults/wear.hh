@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Wear-out fault derivation from write densities.
+ *
+ * The paper's endurance argument (Sec. II-A, reram/endurance.hh) gives
+ * each cell ~1e10 write cycles; the ZFDR replica policy (Table III)
+ * multiplies the cells that absorb update writes, because every stored
+ * copy is rewritten on every update. This module turns a compiled
+ * mapping's per-tile write densities into a wear map: the fraction of
+ * one cell-lifetime the tile's hottest cells have consumed after a
+ * given number of prior training iterations. Tiles at or past 1.0 are
+ * worn out and join the fault map as killed tiles.
+ *
+ * The inputs are plain per-tile numbers (no dependency on the compiled
+ * model types) so this layer stays below core; core/compiler.cc adapts
+ * a CompiledGan into WearInputs.
+ */
+
+#ifndef LERGAN_FAULTS_WEAR_HH
+#define LERGAN_FAULTS_WEAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "faults/fault_model.hh"
+
+namespace lergan {
+
+/** Per-tile write-load description of one mapping. */
+struct WearInputs {
+    /** Weight cells one tile's CArray holds. */
+    std::uint64_t cellsPerTile = 0;
+    /**
+     * writesPerIteration[bank][tile]: weight-element writes into the
+     * tile during one training iteration (kernel rewrites once per
+     * update; W-CONV per-item gradient writes once per minibatch item;
+     * replicas multiply both).
+     */
+    std::vector<std::vector<double>> writesPerIteration;
+};
+
+/** wear[bank][tile] in cell lifetimes (>= 1.0 means worn out). */
+using WearMap = std::vector<std::vector<double>>;
+
+/**
+ * Wear after @p prior_iterations of training.
+ *
+ * wear = prior_iterations * (writes/iteration / cells) / endurance —
+ * the average writes one of the tile's *programmed* cells absorbed,
+ * normalized by fill so a densely duplicated tile (more of its cells
+ * active and rewritten) wears faster than a sparsely used one.
+ */
+WearMap computeWearMap(const WearInputs &inputs, double prior_iterations,
+                       double cell_endurance);
+
+/**
+ * Merge @p wear into @p map: each tile's wear field is set and tiles at
+ * or beyond one full cell lifetime are killed.
+ */
+void applyWear(FaultMap &map, const WearMap &wear);
+
+} // namespace lergan
+
+#endif // LERGAN_FAULTS_WEAR_HH

@@ -33,6 +33,8 @@ CArrayAllocator::CArrayAllocator(int banks, int tiles_per_bank,
                                  std::uint64_t xbars_per_tile)
     : tilesPerBank_(tiles_per_bank), xbarsPerTile_(xbars_per_tile),
       used_(banks, std::vector<std::uint64_t>(tiles_per_bank, 0)),
+      capacity_(banks,
+                std::vector<std::uint64_t>(tiles_per_bank, xbars_per_tile)),
       failed_(banks, std::vector<bool>(tiles_per_bank, false)),
       cursor_(banks, 0)
 {
@@ -60,7 +62,7 @@ CArrayAllocator::allocate(int bank, std::uint64_t count,
          ++visited, tile = (tile + 1) % tilesPerBank_) {
         if (failed_[bank][tile])
             continue;
-        const std::uint64_t free = xbarsPerTile_ - used_[bank][tile];
+        const std::uint64_t free = capacity_[bank][tile] - used_[bank][tile];
         if (free == 0)
             continue;
         const std::uint64_t take =
@@ -80,7 +82,7 @@ CArrayAllocator::allocate(int bank, std::uint64_t count,
          ++visited, tile = (tile + 1) % tilesPerBank_) {
         if (failed_[bank][tile])
             continue;
-        const std::uint64_t free = xbarsPerTile_ - used_[bank][tile];
+        const std::uint64_t free = capacity_[bank][tile] - used_[bank][tile];
         if (free == 0)
             continue;
         const std::uint64_t take = std::min(remaining, free);
@@ -128,7 +130,7 @@ CArrayAllocator::freeInBank(int bank) const
     std::uint64_t free = 0;
     for (int tile = 0; tile < tilesPerBank_; ++tile) {
         if (!failed_[bank][tile])
-            free += xbarsPerTile_ - used_[bank][tile];
+            free += capacity_[bank][tile] - used_[bank][tile];
     }
     return free;
 }
@@ -148,9 +150,32 @@ CArrayAllocator::markFailed(int bank, int tile)
     LERGAN_ASSERT(bank >= 0 && bank < banks() && tile >= 0 &&
                       tile < tilesPerBank_,
                   "markFailed: bad coordinates");
+    if (failed_[bank][tile])
+        return; // idempotent: the capacity was already written off
     LERGAN_ASSERT(used_[bank][tile] == 0,
                   "markFailed: tile already holds allocations");
     failed_[bank][tile] = true;
+}
+
+void
+CArrayAllocator::reduceCapacity(int bank, int tile,
+                                std::uint64_t dead_xbars)
+{
+    LERGAN_ASSERT(bank >= 0 && bank < banks() && tile >= 0 &&
+                      tile < tilesPerBank_,
+                  "reduceCapacity: bad coordinates");
+    LERGAN_ASSERT(used_[bank][tile] == 0,
+                  "reduceCapacity: tile already holds allocations");
+    capacity_[bank][tile] -= std::min(dead_xbars, capacity_[bank][tile]);
+}
+
+std::uint64_t
+CArrayAllocator::capacityOfTile(int bank, int tile) const
+{
+    LERGAN_ASSERT(bank >= 0 && bank < banks() && tile >= 0 &&
+                      tile < tilesPerBank_,
+                  "capacityOfTile: bad coordinates");
+    return failed_[bank][tile] ? 0 : capacity_[bank][tile];
 }
 
 bool

@@ -71,12 +71,25 @@ class CArrayAllocator
     /**
      * Mark a tile as failed (manufacturing defect or worn-out cells):
      * no future allocation touches it. Fault-injection tests use this
-     * to show mappings route around dead tiles.
+     * to show mappings route around dead tiles. Idempotent: marking an
+     * already-failed tile again is a no-op, so a fault map that lists a
+     * tile under several fault classes never double-subtracts capacity.
      */
     void markFailed(int bank, int tile);
 
     /** True when the tile was marked failed. */
     bool isFailed(int bank, int tile) const;
+
+    /**
+     * Permanently remove @p dead_xbars crossbars from the tile's
+     * capacity (stuck-at cells or dead columns disabled individual
+     * crossbars, but the tile as a whole survives). Clamped to the
+     * remaining capacity; only legal before the tile holds allocations.
+     */
+    void reduceCapacity(int bank, int tile, std::uint64_t dead_xbars);
+
+    /** Usable crossbars in one tile (after failures and reductions). */
+    std::uint64_t capacityOfTile(int bank, int tile) const;
 
     /** Crossbars still free in @p bank. */
     std::uint64_t freeInBank(int bank) const;
@@ -99,6 +112,8 @@ class CArrayAllocator
     std::uint64_t xbarsPerTile_;
     /** used_[bank][tile] = crossbars handed out. */
     std::vector<std::vector<std::uint64_t>> used_;
+    /** capacity_[bank][tile] = usable crossbars (<= xbarsPerTile_). */
+    std::vector<std::vector<std::uint64_t>> capacity_;
     /** failed_[bank][tile] = tile is unusable. */
     std::vector<std::vector<bool>> failed_;
     /** Next tile to start allocating from, per bank. */

@@ -56,7 +56,9 @@ TEST(Audit, CleanRunPassesEveryCheck)
 {
     const SimRun run = makeRun();
     const AuditContext context;
-    EXPECT_EQ(context.checkCount(), 4u);
+    // Five registered checks; the faults check skips on this healthy
+    // run, so four actually execute.
+    EXPECT_EQ(context.checkCount(), 5u);
 
     const AuditVerdict verdict = context.run(run.input());
     EXPECT_TRUE(verdict.ran);
@@ -185,6 +187,7 @@ TEST(Audit, DisabledChecksAreNotRegistered)
     AuditOptions options = AuditOptions::full();
     options.zeros = false;
     options.timing = false;
+    options.faults = false;
     const AuditContext context(options);
     EXPECT_EQ(context.checkCount(), 2u);
 
@@ -203,10 +206,11 @@ TEST(Audit, CustomChecksRunAfterStandardOnes)
             verdict.fail("custom", "always fails");
             return true;
         });
-    EXPECT_EQ(context.checkCount(), 5u);
+    EXPECT_EQ(context.checkCount(), 6u);
 
     const SimRun run = makeRun();
     const AuditVerdict verdict = context.run(run.input());
+    // The faults check skips on this healthy run.
     EXPECT_EQ(verdict.checksRun, 5u);
     ASSERT_EQ(verdict.failures.size(), 1u);
     EXPECT_EQ(verdict.failures[0].check, "custom");

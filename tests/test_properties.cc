@@ -4,11 +4,18 @@
  * invariants, and routing invariants across the whole machine.
  */
 
+#include <algorithm>
+#include <sstream>
+
 #include <gtest/gtest.h>
 
+#include "common/json.hh"
 #include "common/random.hh"
 #include "core/machine.hh"
+#include "core/sweep_io.hh"
+#include "faults/montecarlo.hh"
 #include "sim/task_graph.hh"
+#include "workloads/zoo.hh"
 
 namespace lergan {
 namespace {
@@ -176,6 +183,101 @@ TEST(RouteInvariants, StackedBankRouteUsesVerticalWire)
     ASSERT_EQ(route.links.size(), 1u);
     EXPECT_EQ(machine.topo().link(route.links[0]).kind,
               LinkKind::Vertical);
+}
+
+// ---------------------------------------------------------------------
+// Monte Carlo robustness-sweep properties.
+// ---------------------------------------------------------------------
+
+/** A small faulty configuration at the given tile-kill rate. */
+AcceleratorConfig
+faultyConfig(double tile_kill_rate)
+{
+    AcceleratorConfig config =
+        AcceleratorConfig::lerGan(ReplicaDegree::Low);
+    config.batchSize = 4;
+    config.faults.tileKillRate = tile_kill_rate;
+    return config;
+}
+
+TEST(MonteCarloProperty, AggregatesArePermutationInvariantInTrialOrder)
+{
+    // The distribution summary may not depend on the order trials
+    // complete (or are fed) in — it sorts internally.
+    Rng rng(123);
+    std::vector<double> samples;
+    for (int i = 0; i < 40; ++i)
+        samples.push_back(rng.nextDouble() * 100.0);
+    const TrialDistribution reference = TrialDistribution::of(samples);
+
+    for (int round = 0; round < 10; ++round) {
+        // Fisher-Yates with the deterministic repo Rng.
+        for (std::size_t i = samples.size(); i > 1; --i)
+            std::swap(samples[i - 1], samples[rng.nextBounded(i)]);
+        const TrialDistribution shuffled = TrialDistribution::of(samples);
+        EXPECT_DOUBLE_EQ(shuffled.mean, reference.mean);
+        EXPECT_DOUBLE_EQ(shuffled.p95, reference.p95);
+        EXPECT_DOUBLE_EQ(shuffled.min, reference.min);
+        EXPECT_DOUBLE_EQ(shuffled.max, reference.max);
+    }
+}
+
+TEST(MonteCarloProperty, DeterministicAcrossWorkerCounts)
+{
+    FaultMonteCarlo experiment;
+    experiment.addBenchmark(makeBenchmark("MAGAN-MNIST"))
+        .addConfig("kill5", faultyConfig(0.05))
+        .addConfig("kill20", faultyConfig(0.20));
+
+    MonteCarloOptions options;
+    options.trials = 32;
+    options.baseSeed = 7;
+    options.threads = 1;
+    const std::vector<SweepResult> serial = experiment.run(options);
+    options.threads = 4;
+    const std::vector<SweepResult> parallel = experiment.run(options);
+
+    std::ostringstream serial_json, parallel_json;
+    writeSweepJson(serial_json, serial);
+    writeSweepJson(parallel_json, parallel);
+    EXPECT_EQ(serial_json.str(), parallel_json.str());
+
+    std::string error;
+    EXPECT_TRUE(isValidJson(serial_json.str(), &error)) << error;
+
+    ASSERT_EQ(serial.size(), 2u);
+    for (const SweepResult &result : serial) {
+        EXPECT_TRUE(result.faults.ran());
+        EXPECT_EQ(result.faults.trials, 32);
+    }
+}
+
+TEST(MonteCarloProperty, AggregatesMonotoneNonImprovingInFaultRate)
+{
+    // With only tile-kill faults active the sampler consumes exactly
+    // one uniform draw per tile, so the same trial seed yields nested
+    // kill sets as the rate rises: capacity lost and iteration latency
+    // can only get worse (or tie), never better.
+    const GanModel model = makeBenchmark("MAGAN-MNIST");
+    double last_capacity = -1.0, last_ms = -1.0;
+    int last_failed = 0;
+    for (double rate : {0.05, 0.2, 0.4}) {
+        FaultMonteCarlo experiment;
+        experiment.addBenchmark(model).addConfig("kill", faultyConfig(rate));
+        MonteCarloOptions options;
+        options.trials = 32;
+        options.baseSeed = 7;
+        const std::vector<SweepResult> results = experiment.run(options);
+        ASSERT_EQ(results.size(), 1u);
+        const FaultSweepStats &stats = results[0].faults;
+        EXPECT_GE(stats.capacityLost.mean, last_capacity);
+        EXPECT_GE(stats.msPerIteration.mean, last_ms);
+        EXPECT_GE(stats.failedTrials, last_failed);
+        last_capacity = stats.capacityLost.mean;
+        last_ms = stats.msPerIteration.mean;
+        last_failed = stats.failedTrials;
+    }
+    EXPECT_GT(last_capacity, 0.0);
 }
 
 } // namespace
