@@ -10,14 +10,20 @@
 #ifndef LERGAN_BENCH_BENCH_UTIL_HH
 #define LERGAN_BENCH_BENCH_UTIL_HH
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "baselines/fpga_gan.hh"
 #include "baselines/gpu.hh"
 #include "baselines/prime.hh"
+#include "common/args.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "core/api.hh"
+#include "exec/engine.hh"
+#include "telemetry/profiler.hh"
 
 namespace lergan {
 namespace bench {
@@ -69,6 +75,125 @@ banner(const std::string &what, const std::string &paper_claim)
     std::cout << "=== " << what << " ===\n";
     std::cout << "paper: " << paper_claim << "\n\n";
 }
+
+/**
+ * Shared observability plumbing of the bench binaries: the --progress,
+ * --metrics, --metrics-format and --self-profile options, the metrics
+ * registry they populate, and the end-of-run export. Everything is off
+ * by default, so the figure tables on stdout (the golden-diffed output)
+ * are untouched unless a flag asks for more.
+ *
+ * Usage:
+ *   ArgParser args;
+ *   Observability::addOptions(args);
+ *   args.parse(argc, argv, "...");
+ *   Observability obs(args);
+ *   options.onProgress = obs.progress();   // sweeps
+ *   sweep.withTelemetry(obs.registry());   // when obs.registry()
+ *   ...
+ *   obs.finish();                          // writes --metrics file
+ */
+class Observability
+{
+  public:
+    /** Declare the shared options on @p args (call before parse). */
+    static void
+    addOptions(ArgParser &args)
+    {
+        args.addOption("progress", "report per-point progress on stderr",
+                       "", /*is_flag=*/true);
+        args.addOption("metrics",
+                       "write a metrics snapshot to this file (- for "
+                       "stdout)");
+        args.addOption("metrics-format",
+                       "snapshot format: prom, json or csv", "prom");
+        args.addOption("self-profile",
+                       "profile the simulator's own host phases "
+                       "(reported on stderr)",
+                       "", /*is_flag=*/true);
+    }
+
+    explicit Observability(const ArgParser &args)
+        : metricsPath_(args.get("metrics")),
+          metricsFormat_(args.get("metrics-format")),
+          progressWanted_(args.getFlag("progress")),
+          selfProfile_(args.getFlag("self-profile"))
+    {
+        if (!metricsPath_.empty())
+            registry_ = std::make_shared<MetricsRegistry>();
+        if (selfProfile_) {
+            HostProfiler::global().reset();
+            HostProfiler::global().enable();
+        }
+    }
+
+    /** The registry to attach via withTelemetry() (null = no --metrics). */
+    const std::shared_ptr<MetricsRegistry> &registry() const
+    {
+        return registry_;
+    }
+
+    /**
+     * Progress hook for RunOptions::onProgress (null unless --progress).
+     * The engine serializes invocations; "\r" keeps it to one line.
+     */
+    ProgressFn
+    progress() const
+    {
+        if (!progressWanted_)
+            return {};
+        return [](std::size_t done, std::size_t total) {
+            std::cerr << '\r' << "[" << done << '/' << total << "]"
+                      << (done == total ? "\n" : "") << std::flush;
+        };
+    }
+
+    /**
+     * Export everything the flags asked for: the --metrics snapshot
+     * (host-profile gauges folded in first) and the --self-profile
+     * table on stderr.
+     */
+    void
+    finish()
+    {
+        if (selfProfile_) {
+            std::cerr << "host profile:\n";
+            HostProfiler::global().print(std::cerr);
+        }
+        if (!registry_)
+            return;
+        if (HostProfiler::global().enabled())
+            HostProfiler::global().exportInto(*registry_);
+        const MetricsSnapshot snapshot = registry_->snapshot();
+        const auto write = [&](std::ostream &os) {
+            if (metricsFormat_ == "json")
+                snapshot.writeJson(os);
+            else if (metricsFormat_ == "csv")
+                snapshot.writeCsv(os);
+            else if (metricsFormat_ == "prom")
+                snapshot.writePrometheus(os);
+            else
+                LERGAN_FATAL("unknown --metrics-format '", metricsFormat_,
+                             "' (expected prom, json or csv)");
+        };
+        if (metricsPath_ == "-") {
+            write(std::cout);
+            return;
+        }
+        std::ofstream out(metricsPath_);
+        if (!out)
+            LERGAN_FATAL("cannot write metrics file '", metricsPath_,
+                         "'");
+        write(out);
+    }
+
+  private:
+    std::string metricsPath_;
+    std::string metricsFormat_;
+    bool progressWanted_ = false;
+    bool selfProfile_ = false;
+    std::shared_ptr<MetricsRegistry> registry_;
+};
 
 /** Geometric-style arithmetic mean helper used in the summary rows. */
 class Mean

@@ -6,11 +6,18 @@
  *
  * Usage:
  *   ./build/bench/export_results --json results.json --csv results.csv
+ *
+ * --telemetry augments both exports with per-point host observations
+ * (cache hit, wall ms) and a run summary (cache totals, wall clock).
+ * The default output shape is unchanged without the flag, so existing
+ * consumers and the golden diffs are unaffected.
  */
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 
+#include "bench_util.hh"
 #include "common/args.hh"
 #include "core/sweep.hh"
 #include "core/sweep_io.hh"
@@ -20,6 +27,7 @@ int
 main(int argc, char **argv)
 {
     using namespace lergan;
+    using namespace lergan::bench;
 
     ArgParser args;
     args.addOption("json", "JSON output path", "lergan_results.json");
@@ -30,7 +38,13 @@ main(int argc, char **argv)
     args.addOption("audit",
                    "run cross-layer invariant checks on every point", "",
                    /*is_flag=*/true);
+    args.addOption("telemetry",
+                   "add per-point host observations and a cache/wall "
+                   "summary to the exports",
+                   "", /*is_flag=*/true);
+    Observability::addOptions(args);
     args.parse(argc, argv, "export the evaluation grid for plotting");
+    Observability obs(args);
 
     ExperimentSweep sweep;
     for (const GanModel &model : allBenchmarks())
@@ -44,18 +58,36 @@ main(int argc, char **argv)
     sweep.addConfig("prime", AcceleratorConfig::prime());
     if (args.getFlag("audit"))
         sweep.auditWith(AuditOptions::full());
+    if (obs.registry())
+        sweep.withTelemetry(obs.registry());
 
     RunOptions options;
     options.threads = args.getInt("threads");
     options.iterations = args.getInt("iterations");
+    options.onProgress = obs.progress();
+    options.pointTelemetry = args.getFlag("telemetry");
+
+    const auto began = std::chrono::steady_clock::now();
     const auto results = sweep.run(options);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - began)
+            .count();
+
+    SweepTelemetrySummary summary;
+    summary.cacheHits = sweep.cache().hits();
+    summary.cacheMisses = sweep.cache().misses();
+    summary.wallMs = wall_ms;
+    const SweepTelemetrySummary *summary_ptr =
+        options.pointTelemetry ? &summary : nullptr;
 
     std::ofstream json(args.get("json"));
-    writeSweepJson(json, results);
+    writeSweepJson(json, results, summary_ptr);
     std::ofstream csv(args.get("csv"));
-    writeSweepCsv(csv, results);
+    writeSweepCsv(csv, results, summary_ptr);
 
     std::cout << "wrote " << results.size() << " points to "
               << args.get("json") << " and " << args.get("csv") << "\n";
+    obs.finish();
     return 0;
 }

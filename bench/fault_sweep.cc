@@ -39,9 +39,11 @@ main(int argc, char **argv)
                    "sweep workers (0 = one per hardware thread)", "0");
     args.addOption("golden", "omit host-dependent output (golden diffs)",
                    "", /*is_flag=*/true);
+    Observability::addOptions(args);
     args.parse(argc, argv,
                "LerGAN vs PRIME robustness under rising fault rates");
     const bool golden = args.getFlag("golden");
+    Observability obs(args);
 
     banner("Fault sweep: LerGAN vs PRIME under rising ReRAM fault rates",
            "zero-free mappings keep their edge while faults erode both");
@@ -75,6 +77,8 @@ main(int argc, char **argv)
         options.threads = args.getInt("threads");
         options.baseSeed = 1905; // same trial seeds for every rate
         options.audit = AuditOptions::full();
+        options.onProgress = obs.progress();
+        options.telemetry = obs.registry();
         const std::vector<SweepResult> results = experiment.run(options);
 
         for (const SweepResult &result : results) {
@@ -110,5 +114,6 @@ main(int argc, char **argv)
         std::cout << "swept " << trials_total << " trials in "
                   << elapsed.count() << " ms\n";
     }
+    obs.finish();
     return audits_ok ? 0 : 1;
 }

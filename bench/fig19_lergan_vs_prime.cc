@@ -12,16 +12,63 @@
  * so the table rows read straight out of the result vector.
  */
 
+#include <chrono>
+#include <fstream>
 #include <map>
 
 #include "bench_util.hh"
 #include "core/sweep.hh"
+#include "sim/trace_tracks.hh"
+
+namespace {
+
+/**
+ * Trace one LerGAN-low DCGAN iteration with derived counter tracks —
+ * transfer occupancy and the busiest wire's busy curve next to the task
+ * spans — and export it for Perfetto (--trace).
+ */
+void
+exportCounterTrace(const std::string &path)
+{
+    using namespace lergan;
+    const GanModel model = makeBenchmark("DCGAN");
+    LerGanAccelerator accelerator(
+        model, AcceleratorConfig::lerGan(ReplicaDegree::Low));
+    Tracer tracer;
+    accelerator.trainIterationTraced(tracer);
+    const std::vector<std::string> names = accelerator.resourceNames();
+    addSpanOccupancyTrack(tracer, "xfer:", "ic.xfer.active");
+    const std::size_t wire = busiestLane(tracer, names, ".wire");
+    if (wire != SIZE_MAX)
+        addLaneOccupancyTrack(tracer, wire, names[wire] + ".busy");
+    std::ofstream out(path);
+    if (!out)
+        LERGAN_FATAL("cannot write trace file '", path, "'");
+    tracer.exportChromeTrace(out, names);
+    std::cerr << "trace: " << tracer.events().size() << " spans, "
+              << tracer.counterSamples().size() << " counter samples -> "
+              << path << "\n";
+}
+
+} // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lergan;
     using namespace lergan::bench;
+
+    ArgParser args;
+    args.addOption("threads", "worker threads (0 = hardware threads)",
+                   "0");
+    args.addOption("trace",
+                   "write a Chrome trace (task spans + counter tracks) "
+                   "of one DCGAN/low iteration to this file");
+    Observability::addOptions(args);
+    args.parse(argc, argv,
+               "Fig. 19: LerGAN vs PRIME speedup reproduction");
+    Observability obs(args);
+
     banner("Fig. 19: LerGAN vs PRIME (speedup, 10-iteration average)",
            "avg 7.46x; MAGAN-MNIST near 1x; 2.1x at equal space");
 
@@ -38,10 +85,45 @@ main()
     for (const GanModel &model : allBenchmarks())
         sweep.addPoint(model, "low-NS", lerGanLowNs(model));
 
+    if (obs.registry())
+        sweep.withTelemetry(obs.registry());
+
     RunOptions options;
-    options.threads = 0; // one worker per hardware thread
+    options.threads = args.getInt("threads");
     options.iterations = kIterations;
+    options.onProgress = obs.progress();
     const auto results = sweep.run(options);
+
+    if (args.getFlag("self-profile")) {
+        // Telemetry-overhead guard: re-run the same grid with the
+        // compile cache warm, once without and once with a registry,
+        // and report the wall-clock ratio. The telemetry-off run is
+        // the product default, so this is the number that must stay
+        // within the <2% overhead budget.
+        using clock = std::chrono::steady_clock;
+        RunOptions warm = options;
+        warm.onProgress = {};
+        sweep.withTelemetry(nullptr);
+        const auto t0 = clock::now();
+        sweep.run(warm);
+        const auto t1 = clock::now();
+        sweep.withTelemetry();
+        sweep.run(warm);
+        const auto t2 = clock::now();
+        const double off_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        const double on_ms =
+            std::chrono::duration<double, std::milli>(t2 - t1).count();
+        std::cerr << "telemetry overhead (warm cache): off " << off_ms
+                  << " ms, on " << on_ms << " ms ("
+                  << (off_ms > 0 ? 100.0 * (on_ms - off_ms) / off_ms
+                                 : 0.0)
+                  << "% on-cost)\n";
+        sweep.withTelemetry(obs.registry());
+    }
+
+    if (args.given("trace"))
+        exportCounterTrace(args.get("trace"));
 
     std::map<std::pair<std::string, std::string>, double> msPerIter;
     for (const SweepResult &result : results)
@@ -73,5 +155,6 @@ main()
                   TextTable::num(m_ns.value()) + "x"});
     table.print(std::cout);
     std::cout << "\npaper: high-degree average 7.46x; equal-space 2.1x\n";
+    obs.finish();
     return 0;
 }

@@ -30,13 +30,14 @@ int main() { std::thread([] {}).join(); }
 EOF
 if c++ -std=c++20 -fsanitize=thread "$probe_dir/probe.cc" \
         -o "$probe_dir/probe" 2>/dev/null && "$probe_dir/probe"; then
-    echo "== TSan build of the exec + fault tests (ctest -L 'tsan|faults') =="
+    echo "== TSan build of the exec + fault + telemetry tests" \
+         "(ctest -L 'tsan|faults|telemetry') =="
     cmake -B "$root/build-tsan" -S "$root" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread" >/dev/null
     cmake --build "$root/build-tsan" -j "$jobs" \
-        --target test_exec test_faults
-    ctest --test-dir "$root/build-tsan" -L 'tsan|faults' \
+        --target test_exec test_faults test_telemetry
+    ctest --test-dir "$root/build-tsan" -L 'tsan|faults|telemetry' \
         --output-on-failure -j "$jobs"
 else
     echo "ThreadSanitizer unavailable on this toolchain; skipping the" \

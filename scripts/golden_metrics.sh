@@ -1,0 +1,26 @@
+#!/bin/sh
+# Diff a bench's sim-time metrics snapshot against a committed golden.
+#
+# Usage: golden_metrics.sh <golden-file> <binary> <threads> [args...]
+#
+# Runs the binary with --metrics (Prometheus text format) at the given
+# worker count, strips the host_* lines (wall clocks, worker busy time
+# — facts about this machine, not the simulated one), and byte-diffs
+# the rest. Running at both 1 and 4 workers against the SAME golden is
+# the telemetry determinism check: every sim-time instrument is an
+# integer accumulator, so totals must not depend on thread interleaving.
+set -eu
+
+golden="$1"
+bin="$2"
+threads="$3"
+shift 3
+
+raw="$(mktemp)"
+tmp="$(mktemp)"
+trap 'rm -f "$raw" "$tmp"' EXIT
+
+"$bin" --threads "$threads" --metrics "$raw" --metrics-format prom \
+    "$@" > /dev/null
+grep -v -e '^host_' -e '^# TYPE host_' "$raw" > "$tmp"
+diff -u "$golden" "$tmp"

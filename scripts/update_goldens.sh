@@ -34,4 +34,15 @@ echo "golden: export_results"
 echo "golden: fault_sweep"
 "$build/bench/fault_sweep" --golden --threads 1 > "$out/fault_sweep.txt"
 
+# Sim-time telemetry snapshot: integer accumulators only, so the same
+# golden serves the 1- and 4-worker determinism tests. host_* lines
+# are wall-clock facts about the generating machine and stay out.
+echo "golden: fig19_metrics"
+raw="$(mktemp)"
+"$build/bench/fig19_lergan_vs_prime" --threads 1 --metrics "$raw" \
+    --metrics-format prom > /dev/null
+grep -v -e '^host_' -e '^# TYPE host_' "$raw" \
+    > "$out/fig19_metrics.prom"
+rm -f "$raw"
+
 echo "done; review with: git diff tests/golden/"

@@ -1,11 +1,14 @@
 #include "core/accelerator.hh"
 
 #include <algorithm>
+#include <array>
 #include <map>
 
 #include "common/logging.hh"
 #include "core/validate.hh"
 #include "sim/task_graph.hh"
+#include "sim/utilization.hh"
+#include "telemetry/profiler.hh"
 #include "workloads/zoo.hh"
 
 namespace lergan {
@@ -16,10 +19,38 @@ namespace {
  *  "some calculations in CPU"; vectorized on a Xeon E5520-class host). */
 constexpr double kCpuNsPerWeight = 0.05;
 
+/**
+ * Per-link-kind flit counters, resolved once per iteration build so the
+ * per-transfer hot path records through plain pointers instead of a
+ * name lookup (registry lookups take the creation mutex).
+ */
+struct FlitCounters {
+    std::array<Counter *, 5> byKind{};
+
+    explicit FlitCounters(MetricsRegistry *metrics)
+    {
+        if (!metrics)
+            return;
+        for (LinkKind kind : {LinkKind::HTree, LinkKind::Horizontal,
+                              LinkKind::Vertical, LinkKind::Bypass,
+                              LinkKind::Bus}) {
+            byKind[static_cast<std::size_t>(kind)] = &metrics->counter(
+                std::string(linkKindMetricKey(kind)) + ".flits");
+        }
+    }
+
+    void
+    add(LinkKind kind, std::uint64_t flits) const
+    {
+        if (Counter *counter = byKind[static_cast<std::size_t>(kind)])
+            counter->add(flits);
+    }
+};
+
 /** Charge a route's per-link energies, keyed by wire kind. */
 void
 chargeRoute(const Topology &topo, const Route &route, Bytes bytes,
-            StatSet &stats)
+            StatSet &stats, const FlitCounters &flits)
 {
     for (int link_idx : route.links) {
         const TopoLink &link = topo.link(link_idx);
@@ -32,6 +63,7 @@ chargeRoute(const Topology &topo, const Route &route, Bytes bytes,
           case LinkKind::Bus:        key = "energy.comm.bus"; break;
         }
         stats.add(key, link.pjPerByte * static_cast<double>(bytes));
+        flits.add(link.kind, flitsFor(bytes));
     }
     stats.add("traffic.bytes", static_cast<double>(bytes));
     stats.add("traffic.byte_hops",
@@ -51,10 +83,10 @@ class IterationBuilder
     IterationBuilder(const GanModel &model, const AcceleratorConfig &config,
                      const CompiledGan &compiled, Machine &machine,
                      MemoryController &controller, const TileModel &tile,
-                     std::size_t cpu_res)
+                     std::size_t cpu_res, MetricsRegistry *metrics)
         : model_(model), config_(config), compiled_(compiled),
           machine_(machine), controller_(controller), tile_(tile),
-          cpuRes_(cpu_res),
+          cpuRes_(cpu_res), metrics_(metrics), flitCounters_(metrics),
           cmode_(config.connection == Connection::ThreeD)
     {
     }
@@ -84,6 +116,8 @@ class IterationBuilder
     MemoryController &controller_;
     const TileModel &tile_;
     std::size_t cpuRes_;
+    MetricsRegistry *metrics_;
+    FlitCounters flitCounters_;
     bool cmode_;
 
     const ReRamParams &params() const { return config_.reram; }
@@ -161,7 +195,8 @@ class IterationBuilder
         const Route &route =
             machine_.routeTiles(src.bank, src.tileStart, dst.bank,
                                 dst.tileStart, cmode_);
-        chargeRoute(machine_.topo(), route, bytes, energy);
+        chargeRoute(machine_.topo(), route, bytes, energy,
+                    flitCounters_);
         if (charge_storage)
             tile_.chargeStorage(energy, bytes, bytes);
         // Parallel per-tile wires (leaf, horizontal, vertical) stripe
@@ -193,6 +228,7 @@ class IterationBuilder
     {
         energy.add("energy.comm.bus",
                    params().busPjPerByte * static_cast<double>(bytes));
+        flitCounters_.add(LinkKind::Bus, flitsFor(bytes));
         tile_.chargeStorage(energy, 0, bytes);
         const PicoSeconds duration = nsToPs(
             params().bankReadNs +
@@ -209,6 +245,15 @@ class IterationBuilder
     advanceController(TaskId dep)
     {
         const auto switches = controller_.advance();
+        if (metrics_) {
+            metrics_->counter("ctrl.transitions").add(1);
+            metrics_
+                ->counter(std::string("ctrl.enter.") +
+                          ctrlStateMetricKey(controller_.state()))
+                .add(1);
+            metrics_->counter("ctrl.mode_switches")
+                .add(switches.size());
+        }
         energy.add("energy.control",
                    controller_.switchEnergy() *
                        static_cast<double>(switches.size()));
@@ -583,16 +628,28 @@ LerGanAccelerator::resourceNames() const
 }
 
 TrainingReport
-LerGanAccelerator::trainIterationImpl(Tracer *tracer)
+LerGanAccelerator::trainIterationImpl(Tracer *tracer,
+                                      MetricsRegistry *metrics)
 {
     machine_.resetResources();
     controller_.reset();
 
     IterationBuilder builder(model_, config_, *compiled_, machine_,
-                             controller_, tileModel_, cpuRes_);
-    builder.build();
+                             controller_, tileModel_, cpuRes_, metrics);
+    {
+        const auto scope = HostProfiler::global().scope("schedule");
+        builder.build();
+    }
 
-    const ExecResult exec = builder.graph.execute(machine_.pool(), tracer);
+    ExecResult exec;
+    {
+        const auto scope = HostProfiler::global().scope("simulate");
+        exec = builder.graph.execute(machine_.pool(), tracer, metrics);
+    }
+    if (metrics) {
+        metrics->counter("sim.iterations").add(1);
+        recordPoolMetrics(machine_.pool(), *metrics);
+    }
 
     TrainingReport report;
     report.benchmark = model_.name;
@@ -635,12 +692,13 @@ LerGanAccelerator::trainIterations(int n)
 }
 
 TrainingReport
-LerGanAccelerator::trainIterations(int n, Tracer *tracer)
+LerGanAccelerator::trainIterations(int n, Tracer *tracer,
+                                   MetricsRegistry *metrics)
 {
     LERGAN_ASSERT(n > 0, "need at least one iteration");
     if (tracer)
         tracer->clear();
-    TrainingReport report = trainIterationImpl(tracer);
+    TrainingReport report = trainIterationImpl(tracer, metrics);
     report.stats.set("total.iterations", n);
     report.stats.set("total.time_ms", report.timeMs() * n);
     report.stats.set("total.energy_mj", pjToMj(report.totalEnergyPj()) * n);

@@ -23,6 +23,7 @@
 #include "core/report.hh"
 #include "reram/tile.hh"
 #include "sim/trace.hh"
+#include "telemetry/metrics.hh"
 
 namespace lergan {
 
@@ -67,9 +68,14 @@ class LerGanAccelerator
      * trainIterations() recording the simulated iteration's task
      * intervals into @p tracer (cleared first; null records nothing) —
      * the variant the audit layer uses to cross-check phase times
-     * against the event-queue makespan.
+     * against the event-queue makespan. When @p metrics is given the
+     * run also accumulates sim-time telemetry (queue depth, per-link
+     * flit traffic, controller transitions, resource contention) into
+     * the registry; only integer instruments are used, so totals are
+     * independent of how many runs share the registry concurrently.
      */
-    TrainingReport trainIterations(int n, Tracer *tracer);
+    TrainingReport trainIterations(int n, Tracer *tracer,
+                                   MetricsRegistry *metrics = nullptr);
 
     const CompiledGan &compiled() const { return *compiled_; }
     const GanModel &model() const { return model_; }
@@ -78,7 +84,8 @@ class LerGanAccelerator
 
   private:
     /** Shared implementation of the (traced) iteration runs. */
-    TrainingReport trainIterationImpl(Tracer *tracer);
+    TrainingReport trainIterationImpl(Tracer *tracer,
+                                      MetricsRegistry *metrics = nullptr);
 
     GanModel model_;
     AcceleratorConfig config_;

@@ -33,21 +33,32 @@ SimulationSession::withFaults(const FaultConfig &faults)
     return *this;
 }
 
+SimulationSession &
+SimulationSession::withTelemetry(std::shared_ptr<MetricsRegistry> registry)
+{
+    telemetry_ = std::move(registry);
+    return *this;
+}
+
 TrainingReport
 SimulationSession::runImpl(const GanModel &model, int iterations,
                            const AuditOptions &options,
                            AuditVerdict *verdict) const
 {
     config_.checkUsable();
+    // compileGan carries its own "compile" profiler scope; a cache hit
+    // here costs only the lookup.
     std::shared_ptr<const CompiledGan> compiled =
         cache_->get(model, config_, compileGanValidated);
+    MetricsRegistry *metrics = telemetry_.get();
     LerGanAccelerator accelerator(model, config_, std::move(compiled));
     if (!options.enabled)
-        return accelerator.trainIterations(iterations);
+        return accelerator.trainIterations(iterations, nullptr, metrics);
 
     Tracer tracer;
     Tracer *trace = options.timing ? &tracer : nullptr;
-    TrainingReport report = accelerator.trainIterations(iterations, trace);
+    TrainingReport report =
+        accelerator.trainIterations(iterations, trace, metrics);
     const AuditContext context(options);
     AuditVerdict result = context.run({&model, &config_,
                                        &accelerator.compiled(), &report,

@@ -107,6 +107,26 @@ class SimulationSession
     AuditVerdict audit(const GanModel &model, int iterations = 1,
                        TrainingReport *report = nullptr) const;
 
+    /**
+     * Attach a metrics registry: every subsequent run() accumulates
+     * sim-time telemetry (sim.*, ic.*, ctrl.* — see docs/INTERNALS.md)
+     * into it. Pass null to detach. A default-constructed registry is
+     * created when called with no argument. The registry may be shared
+     * across sessions and threads; sim-time metrics only use integer
+     * instruments, so totals are independent of run interleaving. Not
+     * thread-safe against concurrent run() calls; configure before
+     * handing the session out.
+     */
+    SimulationSession &withTelemetry(
+        std::shared_ptr<MetricsRegistry> registry =
+            std::make_shared<MetricsRegistry>());
+
+    /** The attached metrics registry (null when telemetry is off). */
+    const std::shared_ptr<MetricsRegistry> &telemetry() const
+    {
+        return telemetry_;
+    }
+
     const AcceleratorConfig &config() const { return config_; }
 
     /** @name Compile-cache observability (exact counters) */
@@ -128,6 +148,7 @@ class SimulationSession
     AcceleratorConfig config_;
     std::shared_ptr<CompiledModelCache> cache_;
     AuditOptions audit_;
+    std::shared_ptr<MetricsRegistry> telemetry_;
 };
 
 /**

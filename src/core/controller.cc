@@ -19,6 +19,13 @@ ctrlStateName(CtrlState state)
     return "?";
 }
 
+const char *
+ctrlStateMetricKey(CtrlState state)
+{
+    // ctrlStateName already uses lowercase snake_case keys.
+    return ctrlStateName(state);
+}
+
 MemoryController::MemoryController(const ReRamParams &params, int cu_pairs)
     : params_(params)
 {

@@ -43,6 +43,9 @@ enum class CtrlState {
 /** @return printable state name. */
 const char *ctrlStateName(CtrlState state);
 
+/** @return lowercase state key for telemetry ("train_disc"). */
+const char *ctrlStateMetricKey(CtrlState state);
+
 /** One mode flip the accelerator must charge. */
 struct ModeSwitch {
     int bank;

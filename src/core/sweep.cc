@@ -1,5 +1,7 @@
 #include "core/sweep.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 #include "core/validate.hh"
 #include "sim/trace.hh"
@@ -42,6 +44,13 @@ ExperimentSweep::auditWith(AuditOptions options)
     return *this;
 }
 
+ExperimentSweep &
+ExperimentSweep::withTelemetry(std::shared_ptr<MetricsRegistry> registry)
+{
+    telemetry_ = std::move(registry);
+    return *this;
+}
+
 std::size_t
 ExperimentSweep::pointCount() const
 {
@@ -69,26 +78,31 @@ ExperimentSweep::run(const RunOptions &options) const
     LERGAN_ASSERT(options.threads >= 0,
                   "threads must be >= 0 (0 = hardware concurrency)");
 
+    MetricsRegistry *metrics = telemetry_.get();
     std::vector<SweepResult> results(points.size());
     const auto statuses = runPoints(
         points.size(), static_cast<unsigned>(options.threads),
         [&](std::size_t i) {
             const Point &point = points[i];
+            const auto began = options.pointTelemetry
+                                   ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point{};
             point.config->checkUsable();
             // Validated compile: every mapping entering the cache from
             // the execution engine passes validateMapping, with full
             // diagnostics on failure (core/validate.hh).
+            SweepResult &result = results[i];
+            bool cache_hit = false;
             std::shared_ptr<const CompiledGan> compiled =
                 cache_->get(*point.model, *point.config,
-                            compileGanValidated);
+                            compileGanValidated, &cache_hit);
             LerGanAccelerator accelerator(*point.model, *point.config,
                                           std::move(compiled));
-            SweepResult &result = results[i];
             Tracer tracer;
             Tracer *trace =
                 audit_.enabled && audit_.timing ? &tracer : nullptr;
-            result.report =
-                accelerator.trainIterations(options.iterations, trace);
+            result.report = accelerator.trainIterations(
+                options.iterations, trace, metrics);
             result.crossbarsUsed = accelerator.compiled().crossbarsUsed;
             result.oversubscribed =
                 accelerator.compiled().oversubscribedCrossbars;
@@ -98,8 +112,27 @@ ExperimentSweep::run(const RunOptions &options) const
                     {point.model, point.config, &accelerator.compiled(),
                      &result.report, trace});
             }
+            if (options.pointTelemetry) {
+                result.telemetry.ran = true;
+                result.telemetry.cacheHit = cache_hit;
+                result.telemetry.hostMs =
+                    std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - began)
+                        .count();
+            }
         },
-        options.onProgress);
+        options.onProgress, metrics);
+
+    if (metrics) {
+        // Exact totals (deterministic: misses = distinct compiled
+        // pairs, regardless of worker count or completion order).
+        metrics->gauge("cache.model.hits")
+            .set(static_cast<double>(cache_->hits()));
+        metrics->gauge("cache.model.misses")
+            .set(static_cast<double>(cache_->misses()));
+        metrics->gauge("cache.model.size")
+            .set(static_cast<double>(cache_->size()));
+    }
 
     for (std::size_t i = 0; i < points.size(); ++i) {
         SweepResult &result = results[i];

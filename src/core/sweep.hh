@@ -31,6 +31,16 @@
 
 namespace lergan {
 
+/** Host-side observations of one executed point (never goldened). */
+struct PointTelemetry {
+    /** False unless the sweep ran with RunOptions::pointTelemetry. */
+    bool ran = false;
+    /** Whether this point's compile was served from the cache. */
+    bool cacheHit = false;
+    /** Wall-clock time of the point body on its worker. */
+    double hostMs = 0.0;
+};
+
 /** One executed experiment point. */
 struct SweepResult {
     std::string benchmark;
@@ -54,6 +64,8 @@ struct SweepResult {
      * point came out of a FaultMonteCarlo run, faults/montecarlo.hh).
      */
     FaultSweepStats faults;
+    /** Host-side point observations (RunOptions::pointTelemetry). */
+    PointTelemetry telemetry;
 };
 
 /** A grid of benchmarks x configurations (plus explicit extra points). */
@@ -86,6 +98,24 @@ class ExperimentSweep
      * but no extra simulation — the audited run is the measured run.
      */
     ExperimentSweep &auditWith(AuditOptions options);
+
+    /**
+     * Attach a metrics registry: every point of every subsequent run()
+     * accumulates sim-time telemetry into it (same contract as
+     * SimulationSession::withTelemetry — integer instruments only, so
+     * totals are independent of worker count), plus compile-cache
+     * gauges and the worker pool's "host."-prefixed stats after each
+     * run. Pass null to detach.
+     */
+    ExperimentSweep &withTelemetry(
+        std::shared_ptr<MetricsRegistry> registry =
+            std::make_shared<MetricsRegistry>());
+
+    /** The attached metrics registry (null when telemetry is off). */
+    const std::shared_ptr<MetricsRegistry> &telemetry() const
+    {
+        return telemetry_;
+    }
 
     /** @name Legacy overloaded builders (forward to the named ones) */
     ///@{
@@ -141,6 +171,7 @@ class ExperimentSweep
     std::vector<ExplicitPoint> extraPoints_;
     std::shared_ptr<CompiledModelCache> cache_;
     AuditOptions audit_;
+    std::shared_ptr<MetricsRegistry> telemetry_;
 };
 
 } // namespace lergan

@@ -1,6 +1,7 @@
 #include "core/sweep_io.hh"
 
 #include "common/json.hh"
+#include "telemetry/profiler.hh"
 
 namespace lergan {
 
@@ -44,9 +45,13 @@ csvField(const std::string &text)
 } // namespace
 
 void
-writeSweepJson(std::ostream &os, const std::vector<SweepResult> &results)
+writeSweepJson(std::ostream &os, const std::vector<SweepResult> &results,
+               const SweepTelemetrySummary *summary)
 {
+    const auto scope = HostProfiler::global().scope("export");
     JsonWriter json(os);
+    if (summary)
+        json.beginObject().key("points");
     json.beginArray();
     for (const SweepResult &result : results) {
         json.beginObject();
@@ -107,6 +112,12 @@ writeSweepJson(std::ostream &os, const std::vector<SweepResult> &results)
             }
             json.endObject();
         }
+        if (result.telemetry.ran) {
+            json.key("telemetry").beginObject();
+            json.key("cache_hit").value(result.telemetry.cacheHit);
+            json.key("host_ms").value(result.telemetry.hostMs);
+            json.endObject();
+        }
         json.key("stats").beginObject();
         for (const auto &[name, value] : result.report.stats)
             json.key(name).value(value);
@@ -114,17 +125,31 @@ writeSweepJson(std::ostream &os, const std::vector<SweepResult> &results)
         json.endObject();
     }
     json.endArray();
+    if (summary) {
+        json.key("cache").beginObject();
+        json.key("hits").value(summary->cacheHits);
+        json.key("misses").value(summary->cacheMisses);
+        json.endObject();
+        json.key("wall_ms").value(summary->wallMs);
+        json.endObject();
+    }
     os << '\n';
 }
 
 void
-writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results)
+writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results,
+              const SweepTelemetrySummary *summary)
 {
+    const auto scope = HostProfiler::global().scope("export");
     // Monte Carlo columns appear only when some result carries trial
-    // distributions, so plain sweeps export the exact historical shape.
+    // distributions, so plain sweeps export the exact historical shape;
+    // telemetry columns follow the same pattern.
     bool any_faults = false;
-    for (const SweepResult &result : results)
+    bool any_telemetry = false;
+    for (const SweepResult &result : results) {
         any_faults = any_faults || result.faults.ran();
+        any_telemetry = any_telemetry || result.telemetry.ran;
+    }
 
     os << "benchmark,config,ms_per_iteration,mj_per_iteration,"
           "crossbars,oversubscribed,energy_compute_pj,energy_comm_pj,"
@@ -133,6 +158,8 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results)
         os << ",trials,failed_trials,ms_mean,ms_p95,mj_mean,mj_p95,"
               "capacity_lost_mean,capacity_lost_p95";
     }
+    if (any_telemetry)
+        os << ",cache_hit,host_ms";
     os << '\n';
     for (const SweepResult &result : results) {
         os << csvField(result.benchmark) << ','
@@ -150,6 +177,8 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results)
                     os << ",,,,,,,,";
                 }
             }
+            if (any_telemetry)
+                os << ",,";
             os << '\n';
             continue;
         }
@@ -173,7 +202,20 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results)
                 os << ",,,,,,,,";
             }
         }
+        if (any_telemetry) {
+            if (result.telemetry.ran) {
+                os << ',' << (result.telemetry.cacheHit ? 1 : 0) << ','
+                   << result.telemetry.hostMs;
+            } else {
+                os << ",,";
+            }
+        }
         os << '\n';
+    }
+    if (summary) {
+        os << "# cache_hits=" << summary->cacheHits
+           << " cache_misses=" << summary->cacheMisses
+           << " wall_ms=" << summary->wallMs << '\n';
     }
 }
 

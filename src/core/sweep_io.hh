@@ -9,6 +9,7 @@
 #ifndef LERGAN_CORE_SWEEP_IO_HH
 #define LERGAN_CORE_SWEEP_IO_HH
 
+#include <cstdint>
 #include <ostream>
 #include <vector>
 
@@ -17,22 +18,46 @@
 namespace lergan {
 
 /**
+ * Whole-run host observations attached to a telemetry-enabled export
+ * (bench --telemetry). Never part of a determinism golden.
+ */
+struct SweepTelemetrySummary {
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    /** Wall-clock time of the whole sweep run. */
+    double wallMs = 0.0;
+};
+
+/**
  * Write results as a JSON array of objects. A failed point carries
  * "failed":true plus its "error" message instead of the metric keys.
  * Audited points (ExperimentSweep::auditWith) additionally carry an
  * "audit" object with the verdict and any failed invariants.
+ *
+ * With a @p summary the export becomes an object — {"points":[...],
+ * "cache":{"hits","misses"},"wall_ms"} — and points that ran with
+ * RunOptions::pointTelemetry carry a per-point "telemetry" object
+ * ("cache_hit", "host_ms"). Without a summary and without point
+ * telemetry the output is byte-identical to the historical array shape.
  */
 void writeSweepJson(std::ostream &os,
-                    const std::vector<SweepResult> &results);
+                    const std::vector<SweepResult> &results,
+                    const SweepTelemetrySummary *summary = nullptr);
 
 /**
  * Write results as CSV (one row per point, stats flattened), fields
  * quoted per RFC 4180 where needed. Failed points keep their row —
  * benchmark and config identify them — with every metric cell empty
  * and the exception message in the trailing "error" column.
+ *
+ * When some result ran with RunOptions::pointTelemetry, trailing
+ * "cache_hit,host_ms" columns appear; a @p summary adds a final
+ * "# cache_hits=... cache_misses=... wall_ms=..." comment line. Both
+ * are absent in the default export, keeping its historical shape.
  */
 void writeSweepCsv(std::ostream &os,
-                   const std::vector<SweepResult> &results);
+                   const std::vector<SweepResult> &results,
+                   const SweepTelemetrySummary *summary = nullptr);
 
 } // namespace lergan
 

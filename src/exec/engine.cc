@@ -10,7 +10,7 @@ namespace lergan {
 std::vector<PointStatus>
 runPoints(std::size_t count, unsigned threads,
           const std::function<void(std::size_t)> &body,
-          const ProgressFn &onProgress)
+          const ProgressFn &onProgress, MetricsRegistry *metrics)
 {
     std::vector<PointStatus> statuses(count);
     if (count == 0)
@@ -36,6 +36,18 @@ runPoints(std::size_t count, unsigned threads,
         });
     }
     pool.drain();
+    if (metrics) {
+        metrics->gauge("host.pool.threads")
+            .set(static_cast<double>(pool.threadCount()));
+        metrics->counter("host.pool.tasks.run").add(pool.tasksRun());
+        const auto busy = pool.workerBusyNs();
+        for (std::size_t w = 0; w < busy.size(); ++w) {
+            metrics
+                ->gauge("host.pool.worker." + std::to_string(w) +
+                        ".busy_ms")
+                .set(static_cast<double>(busy[w]) * 1e-6);
+        }
+    }
     return statuses;
 }
 

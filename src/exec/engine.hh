@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/metrics.hh"
+
 namespace lergan {
 
 /** Progress hook: called as (points done, points total). */
@@ -35,6 +37,13 @@ struct RunOptions {
      * counts are monotonic, not the identity of the finished point.
      */
     ProgressFn onProgress;
+    /**
+     * Collect per-point host telemetry (wall time, compile-cache hit)
+     * into each result. Off by default: the extra fields change the
+     * JSON/CSV exports, and per-point wall times are wall-clock facts
+     * that must never enter a determinism golden.
+     */
+    bool pointTelemetry = false;
 };
 
 /** Execution status of one point. */
@@ -52,10 +61,15 @@ struct PointStatus {
  * exception message; the other points are unaffected. Statuses are
  * indexed by point, so the result is deterministic regardless of the
  * order in which workers finish.
+ *
+ * When @p metrics is given, the pool's host-side stats (worker count,
+ * per-worker busy time, tasks run) are recorded after the drain under
+ * the "host." prefix — wall-clock facts, never part of goldens.
  */
 std::vector<PointStatus> runPoints(std::size_t count, unsigned threads,
                                    const std::function<void(std::size_t)> &body,
-                                   const ProgressFn &onProgress = {});
+                                   const ProgressFn &onProgress = {},
+                                   MetricsRegistry *metrics = nullptr);
 
 } // namespace lergan
 

@@ -73,7 +73,7 @@ configFingerprint(const AcceleratorConfig &config)
 std::shared_ptr<const CompiledGan>
 CompiledModelCache::get(const GanModel &model,
                         const AcceleratorConfig &config,
-                        const CompileFn &compile)
+                        const CompileFn &compile, bool *was_hit)
 {
     const std::string key =
         modelFingerprint(model) + "##" + configFingerprint(config);
@@ -84,11 +84,15 @@ CompiledModelCache::get(const GanModel &model,
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             ++hits_;
+            if (was_hit)
+                *was_hit = true;
             Future future = it->second;
             lock.unlock();
             return future.get(); // rethrows a racing compile's failure
         }
         ++misses_;
+        if (was_hit)
+            *was_hit = false;
         entries_.emplace(key, promise.get_future().share());
     }
 

@@ -54,10 +54,15 @@ class CompiledModelCache
      * requests compile once; the other callers block until the result
      * is ready. If the compile throws, every blocked caller rethrows
      * and the entry is dropped so a later request can retry.
+     *
+     * @param was_hit when non-null, set to whether this request was
+     *        served from the cache (racers blocked on an in-flight
+     *        compile count as hits, matching the counters).
      */
     std::shared_ptr<const CompiledGan> get(const GanModel &model,
                                            const AcceleratorConfig &config,
-                                           const CompileFn &compile);
+                                           const CompileFn &compile,
+                                           bool *was_hit = nullptr);
 
     /** Requests served from the cache (exact). */
     std::uint64_t hits() const;

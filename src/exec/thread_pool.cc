@@ -1,6 +1,7 @@
 #include "exec/thread_pool.hh"
 
 #include <algorithm>
+#include <chrono>
 
 namespace lergan {
 
@@ -14,9 +15,10 @@ ThreadPool::ThreadPool(unsigned threads)
 {
     if (threads == 0)
         threads = defaultThreadCount();
+    busyNs_.assign(threads, 0);
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -47,8 +49,22 @@ ThreadPool::drain()
                   [this] { return queue_.empty() && running_ == 0; });
 }
 
+std::vector<std::uint64_t>
+ThreadPool::workerBusyNs() const
+{
+    std::lock_guard lock(mutex_);
+    return busyNs_;
+}
+
+std::uint64_t
+ThreadPool::tasksRun() const
+{
+    std::lock_guard lock(mutex_);
+    return tasksRun_;
+}
+
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(std::size_t worker)
 {
     std::unique_lock lock(mutex_);
     for (;;) {
@@ -60,8 +76,15 @@ ThreadPool::workerLoop()
         queue_.pop_front();
         ++running_;
         lock.unlock();
+        const auto begin = std::chrono::steady_clock::now();
         task();
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
         lock.lock();
+        busyNs_[worker] += static_cast<std::uint64_t>(ns);
+        ++tasksRun_;
         --running_;
         if (queue_.empty() && running_ == 0)
             allIdle_.notify_all();

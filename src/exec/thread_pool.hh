@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -51,16 +52,30 @@ class ThreadPool
     /** Number of worker threads. */
     std::size_t threadCount() const { return workers_.size(); }
 
-  private:
-    void workerLoop();
+    /**
+     * Wall time each worker has spent inside tasks so far, indexed by
+     * worker. Host-side observability: which workers the sweep engine
+     * actually kept busy (reported under the "host." metric prefix, so
+     * never part of a determinism golden).
+     */
+    std::vector<std::uint64_t> workerBusyNs() const;
 
-    std::mutex mutex_;
+    /** Total tasks completed by all workers. */
+    std::uint64_t tasksRun() const;
+
+  private:
+    void workerLoop(std::size_t worker);
+
+    mutable std::mutex mutex_;
     std::condition_variable workReady_;
     std::condition_variable allIdle_;
     std::deque<std::function<void()>> queue_;
     /** Tasks currently executing on some worker. */
     std::size_t running_ = 0;
     bool stopping_ = false;
+    /** Per-worker time spent inside task() (guarded by mutex_). */
+    std::vector<std::uint64_t> busyNs_;
+    std::uint64_t tasksRun_ = 0;
     std::vector<std::jthread> workers_;
 };
 

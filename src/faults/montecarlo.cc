@@ -57,6 +57,8 @@ FaultMonteCarlo::run(const MonteCarloOptions &options) const
     ExperimentSweep sweep;
     if (options.audit.enabled)
         sweep.auditWith(options.audit);
+    if (options.telemetry)
+        sweep.withTelemetry(options.telemetry);
     std::size_t point_index = 0;
     for (const GanModel &model : models_) {
         for (const auto &[label, config] : configs_) {
@@ -131,6 +133,16 @@ FaultMonteCarlo::run(const MonteCarloOptions &options) const
             out.error.clear();
         }
         results.push_back(std::move(out));
+    }
+    if (options.telemetry) {
+        std::uint64_t failed = 0;
+        for (const SweepResult &result : results)
+            failed += result.faults.failedTrials;
+        options.telemetry->counter("faults.trials.run")
+            .add(trials.size());
+        options.telemetry->counter("faults.trials.failed").add(failed);
+        options.telemetry->counter("faults.points.run")
+            .add(results.size());
     }
     return results;
 }

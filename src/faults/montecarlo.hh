@@ -48,6 +48,13 @@ struct MonteCarloOptions {
     AuditOptions audit;
     /** Progress hook, called as (trials done, trials total). */
     ProgressFn onProgress;
+    /**
+     * Metrics registry the trials record into (null = no telemetry).
+     * Besides the per-trial sim.* metrics, the aggregation records
+     * faults.trials.run / faults.trials.failed counters — computed from
+     * the slot-indexed results, so deterministic for any worker count.
+     */
+    std::shared_ptr<MetricsRegistry> telemetry;
 };
 
 /**

@@ -40,6 +40,35 @@ enum class LinkKind {
     Bus,        ///< bank port to shared bus
 };
 
+/** Flit size used by the interconnect traffic metrics. */
+constexpr Bytes kFlitBytes = 8;
+
+/** Number of flits needed to carry @p bytes (at least one). */
+constexpr std::uint64_t
+flitsFor(Bytes bytes)
+{
+    return bytes == 0 ? 1 : (bytes + kFlitBytes - 1) / kFlitBytes;
+}
+
+/** Telemetry key prefix for traffic on a link kind ("ic.htree.wire"). */
+constexpr const char *
+linkKindMetricKey(LinkKind kind)
+{
+    switch (kind) {
+      case LinkKind::HTree:
+        return "ic.htree.wire";
+      case LinkKind::Horizontal:
+        return "ic.added.h";
+      case LinkKind::Vertical:
+        return "ic.added.v";
+      case LinkKind::Bypass:
+        return "ic.bypass";
+      case LinkKind::Bus:
+        return "ic.bus";
+    }
+    return "ic.unknown";
+}
+
 /** One topology node. */
 struct TopoNode {
     NodeKind kind = NodeKind::Router;

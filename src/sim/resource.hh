@@ -36,6 +36,7 @@ class Resource
     reserve(PicoSeconds ready, PicoSeconds duration)
     {
         PicoSeconds start = ready > nextFree_ ? ready : nextFree_;
+        waitTime_ += start - ready;
         nextFree_ = start + duration;
         busyTime_ += duration;
         ++reservations_;
@@ -48,6 +49,13 @@ class Resource
     /** Total time this resource has been occupied. */
     PicoSeconds busyTime() const { return busyTime_; }
 
+    /**
+     * Total time reservations spent queued behind earlier ones: the
+     * summed gap between each task's ready time and its actual start.
+     * This is the resource's contention, as opposed to its utilization.
+     */
+    PicoSeconds waitTime() const { return waitTime_; }
+
     /** Number of reservations made. */
     std::uint64_t reservations() const { return reservations_; }
 
@@ -59,6 +67,7 @@ class Resource
     {
         nextFree_ = 0;
         busyTime_ = 0;
+        waitTime_ = 0;
         reservations_ = 0;
     }
 
@@ -66,6 +75,7 @@ class Resource
     std::string name_;
     PicoSeconds nextFree_ = 0;
     PicoSeconds busyTime_ = 0;
+    PicoSeconds waitTime_ = 0;
     std::uint64_t reservations_ = 0;
 };
 

@@ -26,7 +26,8 @@ TaskGraph::addDep(TaskId task, TaskId dep)
 }
 
 ExecResult
-TaskGraph::execute(ResourcePool &pool, Tracer *tracer) const
+TaskGraph::execute(ResourcePool &pool, Tracer *tracer,
+                   MetricsRegistry *metrics) const
 {
     ExecResult result;
     result.endTimes.assign(tasks_.size(), 0);
@@ -35,6 +36,37 @@ TaskGraph::execute(ResourcePool &pool, Tracer *tracer) const
     std::vector<std::uint32_t> unmet(depCount_);
     std::vector<PicoSeconds> ready(tasks_.size(), 0);
     std::size_t completed = 0;
+
+    // Occupancy of the executor itself, sampled at every fire and
+    // completion when observability is on. Registry instruments are
+    // resolved once up front; the event loop only touches atomics.
+    std::size_t readyCount = 0;    // fire scheduled, not yet run
+    std::size_t inflight = 0;      // fired, completion pending
+    Histogram *depthHist = nullptr;
+    Histogram *readyHist = nullptr;
+    Histogram *inflightHist = nullptr;
+    if (metrics) {
+        depthHist = &metrics->histogram("sim.queue.depth");
+        readyHist = &metrics->histogram("sim.ready.tasks");
+        inflightHist = &metrics->histogram("sim.inflight.tasks");
+    }
+    const bool observing = tracer || metrics;
+    auto sample = [&] {
+        if (metrics) {
+            depthHist->observe(queue.pending());
+            readyHist->observe(readyCount);
+            inflightHist->observe(inflight);
+        }
+        if (tracer) {
+            const PicoSeconds now = queue.now();
+            tracer->recordCounter("sim.queue.depth", now,
+                                  static_cast<double>(queue.pending()));
+            tracer->recordCounter("sim.ready.tasks", now,
+                                  static_cast<double>(readyCount));
+            tracer->recordCounter("sim.inflight.tasks", now,
+                                  static_cast<double>(inflight));
+        }
+    };
 
     // fire() runs at the task's ready time; it commits FIFO reservations
     // on every resource the task needs and schedules the completion event.
@@ -65,16 +97,26 @@ TaskGraph::execute(ResourcePool &pool, Tracer *tracer) const
                 ready[succ] = std::max(ready[succ], end);
                 LERGAN_ASSERT(unmet[succ] > 0, "dependency underflow");
                 if (--unmet[succ] == 0) {
+                    ++readyCount;
                     queue.scheduleAt(ready[succ],
                                      [&fire, succ] { fire(succ); });
                 }
             }
+            --inflight;
+            if (observing)
+                sample();
         });
+        --readyCount;
+        ++inflight;
+        if (observing)
+            sample();
     };
 
     for (TaskId id = 0; id < tasks_.size(); ++id) {
-        if (unmet[id] == 0)
+        if (unmet[id] == 0) {
+            ++readyCount;
             queue.scheduleAt(0, [&fire, id] { fire(id); });
+        }
     }
 
     queue.run();
@@ -82,6 +124,11 @@ TaskGraph::execute(ResourcePool &pool, Tracer *tracer) const
                   "task graph has a cycle or orphaned dependency: ",
                   completed, " of ", tasks_.size(), " tasks completed");
     result.stats.set("sim.tasks", static_cast<double>(tasks_.size()));
+    if (metrics) {
+        metrics->counter("sim.graph.runs").add(1);
+        metrics->counter("sim.tasks.executed").add(tasks_.size());
+        metrics->histogram("sim.makespan_ps").observe(result.makespan);
+    }
     return result;
 }
 

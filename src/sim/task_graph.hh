@@ -23,6 +23,7 @@
 #include "sim/event_queue.hh"
 #include "sim/resource.hh"
 #include "sim/trace.hh"
+#include "telemetry/metrics.hh"
 
 namespace lergan {
 
@@ -81,11 +82,20 @@ class TaskGraph
     /**
      * Execute the whole DAG to completion.
      *
-     * @param pool   resource pool the task resource ids index into.
-     * @param tracer optional recorder of per-task execution intervals.
+     * When @p tracer is given, the executor also records counter tracks
+     * sampling the event-queue depth and the ready/in-flight task sets
+     * over sim time. When @p metrics is given, the same samples feed
+     * sim.* histograms and counters in the registry; only integer
+     * instruments are touched, so concurrent executes from a worker
+     * pool produce worker-count-independent totals.
+     *
+     * @param pool    resource pool the task resource ids index into.
+     * @param tracer  optional recorder of per-task execution intervals.
+     * @param metrics optional registry for sim.* metrics.
      * @return makespan, accumulated energy statistics and task end times.
      */
-    ExecResult execute(ResourcePool &pool, Tracer *tracer = nullptr) const;
+    ExecResult execute(ResourcePool &pool, Tracer *tracer = nullptr,
+                       MetricsRegistry *metrics = nullptr) const;
 
   private:
     std::vector<Task> tasks_;

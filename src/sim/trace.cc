@@ -15,15 +15,31 @@ Tracer::record(std::string label, PicoSeconds start, PicoSeconds end,
 }
 
 void
+Tracer::recordCounter(const std::string &track, PicoSeconds time,
+                      double value)
+{
+    if (!counters_.empty()) {
+        CounterSample &last = counters_.back();
+        if (last.track == track && last.time == time) {
+            last.value = value;
+            return;
+        }
+    }
+    counters_.push_back(CounterSample{track, time, value});
+}
+
+void
 Tracer::exportChromeTrace(std::ostream &os,
                           const std::vector<std::string> &lane_names) const
 {
     JsonWriter json(os);
     json.beginObject();
     json.key("traceEvents").beginArray();
+    bool any_unlaned = false;
     for (const TraceEvent &event : events_) {
         const std::uint64_t lane =
             event.lane == SIZE_MAX ? 0 : event.lane + 1;
+        any_unlaned = any_unlaned || event.lane == SIZE_MAX;
         json.beginObject();
         json.key("name").value(event.label);
         json.key("ph").value("X");
@@ -32,6 +48,30 @@ Tracer::exportChromeTrace(std::ostream &os,
             static_cast<double>(event.end - event.start) * 1e-6);
         json.key("pid").value(1);
         json.key("tid").value(lane);
+        json.endObject();
+    }
+    for (const CounterSample &sample : counters_) {
+        json.beginObject();
+        json.key("name").value(sample.track);
+        json.key("ph").value("C");
+        json.key("ts").value(static_cast<double>(sample.time) * 1e-6);
+        json.key("pid").value(1);
+        json.key("args").beginObject();
+        json.key("value").value(sample.value);
+        json.endObject();
+        json.endObject();
+    }
+    // Tasks without a resource share tid 0; give that track a name so
+    // the viewer doesn't show a bare "Thread 0".
+    if (any_unlaned) {
+        json.beginObject();
+        json.key("name").value("thread_name");
+        json.key("ph").value("M");
+        json.key("pid").value(1);
+        json.key("tid").value(0);
+        json.key("args").beginObject();
+        json.key("name").value("(no resource)");
+        json.endObject();
         json.endObject();
     }
     // Name the lanes after their resources.

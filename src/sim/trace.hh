@@ -29,6 +29,13 @@ struct TraceEvent {
     std::size_t lane = SIZE_MAX;
 };
 
+/** One sampled value of a named counter track at a sim-time instant. */
+struct CounterSample {
+    std::string track;
+    PicoSeconds time = 0;
+    double value = 0.0;
+};
+
 /** Collects task execution intervals during a simulation run. */
 class Tracer
 {
@@ -37,14 +44,36 @@ class Tracer
     void record(std::string label, PicoSeconds start, PicoSeconds end,
                 std::size_t lane);
 
+    /**
+     * Record one sample of counter track @p track at sim time @p time.
+     * A sample at the same track and time as the previous one for that
+     * track overwrites it, so several updates within one event-queue
+     * instant collapse to the final value.
+     */
+    void recordCounter(const std::string &track, PicoSeconds time,
+                       double value);
+
     const std::vector<TraceEvent> &events() const { return events_; }
 
-    /** Drop all recorded events. */
-    void clear() { events_.clear(); }
+    const std::vector<CounterSample> &counterSamples() const
+    {
+        return counters_;
+    }
+
+    /** Drop all recorded events and counter samples. */
+    void
+    clear()
+    {
+        events_.clear();
+        counters_.clear();
+    }
 
     /**
      * Export in the Chrome trace-event JSON format. Lanes become thread
      * ids; times are emitted in microseconds as the format expects.
+     * Counter samples become "ph":"C" counter tracks, which Perfetto
+     * renders as value curves alongside the task spans. Tasks with no
+     * lane land on a track named "(no resource)".
      *
      * @param lane_names optional resource names indexed by lane id.
      */
@@ -57,6 +86,7 @@ class Tracer
 
   private:
     std::vector<TraceEvent> events_;
+    std::vector<CounterSample> counters_;
 };
 
 } // namespace lergan

@@ -1,7 +1,9 @@
 #include "sim/utilization.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <iomanip>
+#include <map>
 
 namespace lergan {
 
@@ -25,7 +27,9 @@ topBusyResources(const ResourcePool &pool, PicoSeconds makespan,
     }
     std::sort(usage.begin(), usage.end(),
               [](const ResourceUsage &a, const ResourceUsage &b) {
-                  return a.busy > b.busy;
+                  if (a.busy != b.busy)
+                      return a.busy > b.busy;
+                  return a.name < b.name;
               });
     if (usage.size() > top_k)
         usage.resize(top_k);
@@ -49,6 +53,57 @@ utilizationOf(const ResourcePool &pool, PicoSeconds makespan,
         ++matches;
     }
     return matches == 0 ? 0.0 : total / static_cast<double>(matches);
+}
+
+namespace {
+
+/** Coarse resource category from its diagnostic name. */
+const char *
+resourceCategory(const std::string &name)
+{
+    if (name.find(".compute") != std::string::npos)
+        return "compute";
+    if (name.find("wire") != std::string::npos)
+        return "wire";
+    if (name.find("switch") != std::string::npos)
+        return "switch";
+    if (name.find("bus") != std::string::npos)
+        return "bus";
+    if (name.find("cpu") != std::string::npos)
+        return "cpu";
+    return "other";
+}
+
+} // namespace
+
+void
+recordPoolMetrics(const ResourcePool &pool, MetricsRegistry &registry)
+{
+    // Accumulate per category locally first: one registry lookup per
+    // non-empty category instead of three per resource (the lookup
+    // takes the registry's creation mutex, and pools hold thousands of
+    // resources).
+    struct CategoryTotals {
+        std::uint64_t busy = 0;
+        std::uint64_t wait = 0;
+        std::uint64_t reservations = 0;
+    };
+    std::map<std::string, CategoryTotals> totals;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        const Resource &res = pool[i];
+        if (res.reservations() == 0)
+            continue;
+        CategoryTotals &t = totals[resourceCategory(res.name())];
+        t.busy += static_cast<std::uint64_t>(res.busyTime());
+        t.wait += static_cast<std::uint64_t>(res.waitTime());
+        t.reservations += res.reservations();
+    }
+    for (const auto &[category, t] : totals) {
+        registry.counter("sim.resource.busy_ps." + category).add(t.busy);
+        registry.counter("sim.resource.wait_ps." + category).add(t.wait);
+        registry.counter("sim.resource.reservations." + category)
+            .add(t.reservations);
+    }
 }
 
 void

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/resource.hh"
+#include "telemetry/metrics.hh"
 
 namespace lergan {
 
@@ -29,7 +30,8 @@ struct ResourceUsage {
 
 /**
  * The @p top_k busiest resources of @p pool, given the run's makespan.
- * Results are sorted by busy time, descending.
+ * Results are sorted by busy time descending, ties broken by name, so
+ * the table is stable across runs and platforms.
  */
 std::vector<ResourceUsage> topBusyResources(const ResourcePool &pool,
                                             PicoSeconds makespan,
@@ -47,6 +49,16 @@ double utilizationOf(const ResourcePool &pool, PicoSeconds makespan,
 /** Print a "name busy util" table for the top @p top_k resources. */
 void printUtilization(std::ostream &os, const ResourcePool &pool,
                       PicoSeconds makespan, std::size_t top_k);
+
+/**
+ * Fold every resource's busy/wait/reservation totals into @p registry
+ * as sim.resource.{busy_ps,wait_ps,reservations}.<category> counters,
+ * where the category is derived from the resource name (compute, wire,
+ * switch, bus, cpu, other). Counters only, so concurrent runs from a
+ * worker pool accumulate worker-count-independent totals.
+ */
+void recordPoolMetrics(const ResourcePool &pool,
+                       MetricsRegistry &registry);
 
 } // namespace lergan
 

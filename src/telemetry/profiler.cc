@@ -1,0 +1,59 @@
+#include "telemetry/profiler.hh"
+
+#include <iomanip>
+
+namespace lergan {
+
+HostProfiler &
+HostProfiler::global()
+{
+    static HostProfiler instance;
+    return instance;
+}
+
+void
+HostProfiler::record(const std::string &phase, std::uint64_t ns)
+{
+    std::lock_guard lock(mutex_);
+    HostPhaseStat &stat = phases_[phase];
+    stat.ns += ns;
+    stat.calls += 1;
+}
+
+std::map<std::string, HostPhaseStat>
+HostProfiler::stats() const
+{
+    std::lock_guard lock(mutex_);
+    return phases_;
+}
+
+void
+HostProfiler::reset()
+{
+    std::lock_guard lock(mutex_);
+    phases_.clear();
+}
+
+void
+HostProfiler::exportInto(MetricsRegistry &registry) const
+{
+    for (const auto &[phase, stat] : stats()) {
+        registry.gauge("host.phase." + phase + ".ms")
+            .set(static_cast<double>(stat.ns) * 1e-6);
+        registry.gauge("host.phase." + phase + ".calls")
+            .set(static_cast<double>(stat.calls));
+    }
+}
+
+void
+HostProfiler::print(std::ostream &os) const
+{
+    for (const auto &[phase, stat] : stats()) {
+        os << "  " << std::left << std::setw(12) << phase << std::right
+           << std::fixed << std::setprecision(3) << std::setw(12)
+           << static_cast<double>(stat.ns) * 1e-6 << " ms  "
+           << stat.calls << " calls\n";
+    }
+}
+
+} // namespace lergan

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Host-side self-profiler: where does the *simulator's own* wall-clock
+ * time go?
+ *
+ * RAII scopes around the coarse host phases (parse, compile, schedule,
+ * simulate, export) accumulate per-phase nanoseconds and call counts.
+ * The profiler is process-global and DISABLED by default: a disabled
+ * scope is one relaxed atomic load and no clock reads, so instrumented
+ * hot paths cost nothing measurable until someone turns profiling on
+ * (bench `--self-profile`, or HostProfiler::global().enable()).
+ *
+ * Host times are wall-clock facts about this machine, not about the
+ * simulated hardware: exportInto() files them under the reserved
+ * "host." metric prefix, which every golden comparison strips.
+ */
+
+#ifndef LERGAN_TELEMETRY_PROFILER_HH
+#define LERGAN_TELEMETRY_PROFILER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "telemetry/metrics.hh"
+
+namespace lergan {
+
+/** Accumulated time of one host phase. */
+struct HostPhaseStat {
+    std::uint64_t ns = 0;
+    std::uint64_t calls = 0;
+};
+
+/** Process-global accumulator of host-phase wall time. */
+class HostProfiler
+{
+  public:
+    /** The process-wide instance the RAII scopes record into. */
+    static HostProfiler &global();
+
+    void
+    enable(bool on = true)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Add @p ns of wall time to @p phase (thread-safe). */
+    void record(const std::string &phase, std::uint64_t ns);
+
+    /** Per-phase accumulated stats, ordered by phase name. */
+    std::map<std::string, HostPhaseStat> stats() const;
+
+    /** Drop all accumulated phases (enabled flag unchanged). */
+    void reset();
+
+    /**
+     * File every phase into @p registry as host.phase.<name>.ms /
+     * .calls gauges — the "host." prefix keeps them out of goldens.
+     */
+    void exportInto(MetricsRegistry &registry) const;
+
+    /** Print a "phase  ms  calls" table (no output when empty). */
+    void print(std::ostream &os) const;
+
+    /**
+     * RAII phase scope. When the profiler is disabled at construction
+     * the scope is inert: no clock is read, nothing is recorded.
+     */
+    class Scope
+    {
+      public:
+        Scope(HostProfiler &profiler, const char *phase)
+            : profiler_(profiler), phase_(phase),
+              active_(profiler.enabled())
+        {
+            if (active_)
+                start_ = std::chrono::steady_clock::now();
+        }
+
+        ~Scope()
+        {
+            if (!active_)
+                return;
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+            profiler_.record(phase_,
+                             static_cast<std::uint64_t>(ns));
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        HostProfiler &profiler_;
+        const char *phase_;
+        bool active_;
+        std::chrono::steady_clock::time_point start_;
+    };
+
+    /** Convenience: Scope(*this, phase). */
+    Scope
+    scope(const char *phase)
+    {
+        return Scope(*this, phase);
+    }
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::map<std::string, HostPhaseStat> phases_;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_TELEMETRY_PROFILER_HH

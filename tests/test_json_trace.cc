@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/json.hh"
 #include "sim/task_graph.hh"
 #include "sim/trace.hh"
+#include "sim/trace_tracks.hh"
 #include "sim/utilization.hh"
 
 namespace lergan {
@@ -94,6 +96,93 @@ TEST(Trace, ChromeExportIsValidJsonShape)
     EXPECT_NE(out.find("\\\"x\\\""), std::string::npos);
     EXPECT_NE(out.find("thread_name"), std::string::npos);
     EXPECT_NE(out.find("lane0"), std::string::npos);
+}
+
+TEST(Trace, UnlanedTasksGetNamedTrack)
+{
+    Tracer tracer;
+    tracer.record("detached", 0, 10, SIZE_MAX);
+    std::ostringstream oss;
+    tracer.exportChromeTrace(oss, {"lane0"});
+    const std::string out = oss.str();
+    // SIZE_MAX lanes map to tid 0 with a human-readable name, not to
+    // tid 18446744073709551615.
+    EXPECT_EQ(out.find("18446744073709551615"), std::string::npos);
+    EXPECT_NE(out.find("(no resource)"), std::string::npos);
+    std::string error;
+    EXPECT_TRUE(isValidJson(out, &error)) << error;
+}
+
+TEST(Trace, CounterSamplesBecomeCounterTracks)
+{
+    Tracer tracer;
+    tracer.recordCounter("sim.queue.depth", 0, 1.0);
+    tracer.recordCounter("sim.queue.depth", 100, 3.0);
+    // Same track + time overwrites: one instant keeps its final value.
+    tracer.recordCounter("sim.queue.depth", 100, 2.0);
+    ASSERT_EQ(tracer.counterSamples().size(), 2u);
+    EXPECT_DOUBLE_EQ(tracer.counterSamples()[1].value, 2.0);
+
+    std::ostringstream oss;
+    tracer.exportChromeTrace(oss, {});
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(out.find("sim.queue.depth"), std::string::npos);
+    std::string error;
+    EXPECT_TRUE(isValidJson(out, &error)) << error;
+
+    tracer.clear();
+    EXPECT_TRUE(tracer.counterSamples().empty());
+}
+
+TEST(Trace, ExecutorRecordsOccupancyCounters)
+{
+    ResourcePool pool;
+    const auto r = pool.create("unit");
+    TaskGraph graph;
+    const TaskId a = graph.addTask({"first", {r}, 10, 0, ""});
+    const TaskId b = graph.addTask({"second", {r}, 5, 0, ""});
+    graph.addDep(b, a);
+
+    Tracer tracer;
+    graph.execute(pool, &tracer);
+    bool saw_depth = false;
+    for (const CounterSample &sample : tracer.counterSamples())
+        saw_depth = saw_depth || sample.track == "sim.queue.depth";
+    EXPECT_TRUE(saw_depth);
+}
+
+TEST(TraceTracks, SpanOccupancyAndBusiestLane)
+{
+    Tracer tracer;
+    // Two overlapping transfers and one compute span on another lane.
+    tracer.record("xfer:a->b", 0, 10, 0);
+    tracer.record("xfer:b->c", 5, 25, 1);
+    tracer.record("mmv", 0, 100, 2);
+
+    const std::size_t samples =
+        addSpanOccupancyTrack(tracer, "xfer:", "ic.xfer.active");
+    EXPECT_GT(samples, 0u);
+    // Occupancy rises to 2 in [5,10) and returns to 0 at 25.
+    double peak = 0.0, last = -1.0;
+    for (const CounterSample &sample : tracer.counterSamples()) {
+        if (sample.track != "ic.xfer.active")
+            continue;
+        peak = std::max(peak, sample.value);
+        last = sample.value;
+    }
+    EXPECT_DOUBLE_EQ(peak, 2.0);
+    EXPECT_DOUBLE_EQ(last, 0.0);
+
+    const std::vector<std::string> names = {"wire.0", "wire.1",
+                                            "tile.compute"};
+    EXPECT_EQ(busiestLane(tracer, names, "wire"), 1u);
+    EXPECT_EQ(busiestLane(tracer, names, ".compute"), 2u);
+    EXPECT_EQ(busiestLane(tracer, names, "nonesuch"), SIZE_MAX);
+
+    const std::size_t lane_samples =
+        addLaneOccupancyTrack(tracer, 2, "tile.busy");
+    EXPECT_GT(lane_samples, 0u);
 }
 
 TEST(Trace, TimelinePrintsAndTruncates)

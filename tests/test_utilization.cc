@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the utilization reporting over finished runs: fragment
+ * matching, the empty pool, the deterministic busy/name tie-break, the
+ * per-category metric rollup, and Resource wait-time accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/resource.hh"
+#include "sim/utilization.hh"
+#include "telemetry/metrics.hh"
+
+namespace lergan {
+namespace {
+
+/** Pool with known busy times: two wires, one tile, one idle switch. */
+ResourcePool
+examplePool()
+{
+    ResourcePool pool;
+    const std::size_t wire_a = pool.create("link.h.wire.0");
+    const std::size_t wire_b = pool.create("link.v.wire.1");
+    const std::size_t tile = pool.create("bank0.tile3.compute");
+    pool.create("switch.2"); // never reserved
+    pool[wire_a].reserve(0, 100);
+    pool[wire_b].reserve(0, 300);
+    pool[tile].reserve(0, 400);
+    return pool;
+}
+
+TEST(Utilization, FragmentMatchingAveragesMatches)
+{
+    const ResourcePool pool = examplePool();
+    const PicoSeconds makespan = 1000;
+    // Two wires at 0.1 and 0.3 utilization average to 0.2.
+    EXPECT_DOUBLE_EQ(utilizationOf(pool, makespan, "wire"), 0.2);
+    EXPECT_DOUBLE_EQ(utilizationOf(pool, makespan, ".compute"), 0.4);
+    // The idle switch still matches (it averages in as zero).
+    EXPECT_DOUBLE_EQ(utilizationOf(pool, makespan, "switch"), 0.0);
+    // No match at all is 0, not a division by zero.
+    EXPECT_DOUBLE_EQ(utilizationOf(pool, makespan, "nonesuch"), 0.0);
+    // Zero makespan is 0, not a division by zero.
+    EXPECT_DOUBLE_EQ(utilizationOf(pool, 0, "wire"), 0.0);
+}
+
+TEST(Utilization, EmptyPool)
+{
+    const ResourcePool pool;
+    EXPECT_DOUBLE_EQ(utilizationOf(pool, 1000, "wire"), 0.0);
+    EXPECT_TRUE(topBusyResources(pool, 1000, 10).empty());
+    std::ostringstream oss;
+    printUtilization(oss, pool, 1000, 10);
+    EXPECT_TRUE(oss.str().empty());
+}
+
+TEST(Utilization, TopBusySortsByBusyThenName)
+{
+    ResourcePool pool;
+    const std::size_t b = pool.create("beta");
+    const std::size_t a = pool.create("alpha");
+    const std::size_t c = pool.create("gamma");
+    pool[a].reserve(0, 100); // ties with beta
+    pool[b].reserve(0, 100);
+    pool[c].reserve(0, 500);
+
+    const auto top = topBusyResources(pool, 1000, 10);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].name, "gamma"); // busiest first
+    EXPECT_EQ(top[1].name, "alpha"); // tie broken by name
+    EXPECT_EQ(top[2].name, "beta");
+    EXPECT_DOUBLE_EQ(top[0].utilization, 0.5);
+    EXPECT_EQ(top[0].reservations, 1u);
+
+    // top_k truncates after sorting.
+    EXPECT_EQ(topBusyResources(pool, 1000, 1).size(), 1u);
+    EXPECT_EQ(topBusyResources(pool, 1000, 1)[0].name, "gamma");
+}
+
+TEST(Utilization, RecordPoolMetricsAggregatesByCategory)
+{
+    const ResourcePool pool = examplePool();
+    MetricsRegistry registry;
+    recordPoolMetrics(pool, registry);
+    const MetricsSnapshot snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.counters.at("sim.resource.busy_ps.wire"), 400u);
+    EXPECT_EQ(snapshot.counters.at("sim.resource.busy_ps.compute"),
+              400u);
+    EXPECT_EQ(snapshot.counters.at("sim.resource.reservations.wire"),
+              2u);
+    // The never-reserved switch contributes no instruments at all.
+    EXPECT_EQ(snapshot.counters.count("sim.resource.busy_ps.switch"),
+              0u);
+}
+
+TEST(Resource, WaitTimeMeasuresQueueing)
+{
+    Resource res("bank0.tile0.compute");
+    // First reservation starts on time: no wait.
+    EXPECT_EQ(res.reserve(10, 100), 10);
+    EXPECT_EQ(res.waitTime(), 0);
+    // Ready at 50 but the resource is busy until 110: waits 60.
+    EXPECT_EQ(res.reserve(50, 10), 110);
+    EXPECT_EQ(res.waitTime(), 60);
+    // Ready after the resource frees: still no extra wait.
+    EXPECT_EQ(res.reserve(500, 10), 500);
+    EXPECT_EQ(res.waitTime(), 60);
+    EXPECT_EQ(res.busyTime(), 120);
+    EXPECT_EQ(res.reservations(), 3u);
+
+    res.reset();
+    EXPECT_EQ(res.waitTime(), 0);
+    EXPECT_EQ(res.busyTime(), 0);
+    EXPECT_EQ(res.reservations(), 0u);
+}
+
+} // namespace
+} // namespace lergan
