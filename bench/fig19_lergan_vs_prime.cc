@@ -10,14 +10,18 @@
  * All 40 grid points plus the per-benchmark normalized-space points run
  * through the parallel sweep engine; results come back benchmark-major,
  * so the table rows read straight out of the result vector.
+ *
+ * This is also the repo's host-performance reference workload: the
+ * committed BENCH_fig19.json trajectory is regenerated from this binary
+ * via scripts/bench_baseline.sh (--bench-json), and scripts/check.sh
+ * guards it (--bench-check).
  */
 
 #include <chrono>
 #include <fstream>
 #include <map>
 
-#include "bench_util.hh"
-#include "core/sweep.hh"
+#include "runner.hh"
 #include "sim/trace_tracks.hh"
 
 namespace {
@@ -58,19 +62,16 @@ main(int argc, char **argv)
     using namespace lergan;
     using namespace lergan::bench;
 
-    ArgParser args;
-    args.addOption("threads", "worker threads (0 = hardware threads)",
-                   "0");
-    args.addOption("trace",
-                   "write a Chrome trace (task spans + counter tracks) "
-                   "of one DCGAN/low iteration to this file");
-    Observability::addOptions(args);
-    args.parse(argc, argv,
-               "Fig. 19: LerGAN vs PRIME speedup reproduction");
-    Observability obs(args);
-
-    banner("Fig. 19: LerGAN vs PRIME (speedup, 10-iteration average)",
-           "avg 7.46x; MAGAN-MNIST near 1x; 2.1x at equal space");
+    Runner runner("fig19",
+                  "Fig. 19: LerGAN vs PRIME (speedup, 10-iteration "
+                  "average)",
+                  "avg 7.46x; MAGAN-MNIST near 1x; 2.1x at equal space");
+    runner.args().addOption(
+        "trace",
+        "write a Chrome trace (task spans + counter tracks) of one "
+        "DCGAN/low iteration to this file");
+    runner.parse(argc, argv,
+                 "Fig. 19: LerGAN vs PRIME speedup reproduction");
 
     ExperimentSweep sweep;
     for (const GanModel &model : allBenchmarks())
@@ -85,24 +86,18 @@ main(int argc, char **argv)
     for (const GanModel &model : allBenchmarks())
         sweep.addPoint(model, "low-NS", lerGanLowNs(model));
 
-    if (obs.registry())
-        sweep.withTelemetry(obs.registry());
+    const auto sweepResults = runner.runSweep(sweep, kIterations);
 
-    RunOptions options;
-    options.threads = args.getInt("threads");
-    options.iterations = kIterations;
-    options.onProgress = obs.progress();
-    const auto results = sweep.run(options);
-
-    if (args.getFlag("self-profile")) {
+    if (runner.args().getFlag("self-profile")) {
         // Telemetry-overhead guard: re-run the same grid with the
         // compile cache warm, once without and once with a registry,
         // and report the wall-clock ratio. The telemetry-off run is
         // the product default, so this is the number that must stay
         // within the <2% overhead budget.
         using clock = std::chrono::steady_clock;
-        RunOptions warm = options;
-        warm.onProgress = {};
+        RunOptions warm;
+        warm.threads = runner.threads();
+        warm.iterations = kIterations;
         sweep.withTelemetry(nullptr);
         const auto t0 = clock::now();
         sweep.run(warm);
@@ -119,14 +114,14 @@ main(int argc, char **argv)
                   << (off_ms > 0 ? 100.0 * (on_ms - off_ms) / off_ms
                                  : 0.0)
                   << "% on-cost)\n";
-        sweep.withTelemetry(obs.registry());
+        sweep.withTelemetry(runner.obs().registry());
     }
 
-    if (args.given("trace"))
-        exportCounterTrace(args.get("trace"));
+    if (runner.args().given("trace"))
+        exportCounterTrace(runner.args().get("trace"));
 
     std::map<std::pair<std::string, std::string>, double> msPerIter;
-    for (const SweepResult &result : results)
+    for (const SweepResult &result : sweepResults)
         msPerIter[{result.benchmark, result.configLabel}] =
             result.report.timeMs();
 
@@ -155,6 +150,5 @@ main(int argc, char **argv)
                   TextTable::num(m_ns.value()) + "x"});
     table.print(std::cout);
     std::cout << "\npaper: high-degree average 7.46x; equal-space 2.1x\n";
-    obs.finish();
-    return 0;
+    return runner.finish();
 }

@@ -10,11 +10,9 @@
 #include <chrono>
 #include <sstream>
 
-#include "bench_util.hh"
-#include "common/args.hh"
-#include "core/sweep.hh"
 #include "core/sweep_io.hh"
 #include "exec/thread_pool.hh"
+#include "runner.hh"
 
 namespace {
 
@@ -51,15 +49,16 @@ timedRun(const lergan::ExperimentSweep &sweep, int threads)
  * differ run to run) so the output byte-diffs cleanly against a
  * committed snapshot. The byte-identity verdict lines stay live.
  */
-void
+std::string
 sweepEngineSection(bool golden)
 {
     using namespace lergan;
     using lergan::bench::kIterations;
 
-    std::cout << "\nParallel sweep engine on the Table-V grid ("
-              << tableVGrid().pointCount() << " points x " << kIterations
-              << " iterations):\n";
+    std::ostringstream out;
+    out << "\nParallel sweep engine on the Table-V grid ("
+        << tableVGrid().pointCount() << " points x " << kIterations
+        << " iterations):\n";
 
     const auto cacheState = [](const ExperimentSweep &sweep) {
         return std::to_string(sweep.cache().hits()) + " hits / " +
@@ -95,16 +94,17 @@ sweepEngineSection(bool golden)
     row("sequential", 1, seqSeconds, seqCache);
     row("parallel", 4, parSeconds, parCache);
     row("warm rerun", 1, warmSeconds, warmCache);
-    table.print(std::cout);
+    table.print(out);
 
-    std::cout << "1-worker vs 4-worker JSON byte-identical: "
-              << (seqJson.str() == parJson.str() ? "yes" : "NO")
-              << "; warm rerun byte-identical: "
-              << (seqJson.str() == warmJson.str() ? "yes" : "NO")
-              << "\n(speedup scales with the host's cores; this run saw "
-              << (golden ? std::string("-")
-                         : std::to_string(defaultThreadCount()))
-              << " hardware thread(s))\n";
+    out << "1-worker vs 4-worker JSON byte-identical: "
+        << (seqJson.str() == parJson.str() ? "yes" : "NO")
+        << "; warm rerun byte-identical: "
+        << (seqJson.str() == warmJson.str() ? "yes" : "NO")
+        << "\n(speedup scales with the host's cores; this run saw "
+        << (golden ? std::string("-")
+                   : std::to_string(defaultThreadCount()))
+        << " hardware thread(s))\n";
+    return out.str();
 }
 
 } // namespace
@@ -113,14 +113,14 @@ int
 main(int argc, char **argv)
 {
     using namespace lergan;
-    ArgParser args;
-    args.addOption("golden",
-                   "mask host-dependent values for golden snapshots", "",
-                   /*is_flag=*/true);
-    args.parse(argc, argv, "Table V benchmark topology reproduction");
-
-    bench::banner("Table V: GAN benchmark topologies",
-                  "8 GANs; f/c/t layer chains with kernel+stride specs");
+    bench::Runner runner("table5", "Table V: GAN benchmark topologies",
+                         "8 GANs; f/c/t layer chains with kernel+stride "
+                         "specs");
+    runner.args().addOption("golden",
+                            "mask host-dependent values for golden "
+                            "snapshots",
+                            "", /*is_flag=*/true);
+    runner.parse(argc, argv, "Table V benchmark topology reproduction");
 
     TextTable table({"name", "G layers", "D layers", "item", "dims",
                      "G weights", "D weights", "G tconv", "G conv"});
@@ -162,6 +162,8 @@ main(int argc, char **argv)
         }
     }
 
-    sweepEngineSection(args.getFlag("golden"));
-    return 0;
+    std::cout << runner.measure(
+        tableVGrid().pointCount() * 3,
+        [&] { return sweepEngineSection(runner.args().getFlag("golden")); });
+    return runner.finish();
 }

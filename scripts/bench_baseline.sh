@@ -1,0 +1,28 @@
+#!/bin/sh
+# Regenerate the committed BENCH_*.json host-performance baselines.
+#
+# Builds the bench binaries, then measures the fig19 grid (the paper's
+# headline figure and the widest sweep) at 1 and 4 workers and rewrites
+# BENCH_fig19.json with a single fresh "baseline" entry stamped with the
+# current commit. Run it on the reference container after a perf-
+# relevant change and commit the result; scripts/check.sh guards future
+# changes against it (see --bench-check in bench/runner.hh).
+#
+# Usage: scripts/bench_baseline.sh [jobs]
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=${1:-$(nproc 2>/dev/null || echo 2)}
+commit=$(git -C "$root" rev-parse --short HEAD 2>/dev/null || echo unknown)
+
+cmake -B "$root/build" -S "$root" >/dev/null
+cmake --build "$root/build" -j "$jobs" --target fig19_lergan_vs_prime
+
+"$root/build/bench/fig19_lergan_vs_prime" \
+    --bench-json "$root/BENCH_fig19.json" \
+    --bench-label baseline \
+    --bench-commit "$commit" \
+    --bench-workers 1,4 \
+    --bench-repeats 3 >/dev/null
+
+echo "wrote $root/BENCH_fig19.json (commit $commit)"

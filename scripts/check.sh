@@ -16,6 +16,21 @@ cmake -B "$root/build" -S "$root" >/dev/null
 cmake --build "$root/build" -j "$jobs"
 ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
 
+# Host-performance guard: fail when the fig19 grid's measured 1-worker
+# points/sec drops >20% below the committed BENCH_fig19.json baseline
+# (see bench/runner.hh). Wall-clock measurements are machine-dependent;
+# set LERGAN_SKIP_PERF_GUARD=1 on slow or noisy machines.
+if [ "${LERGAN_SKIP_PERF_GUARD:-0}" = "1" ]; then
+    echo "== perf guard skipped (LERGAN_SKIP_PERF_GUARD=1) =="
+elif [ -f "$root/BENCH_fig19.json" ]; then
+    echo "== perf guard: fig19 vs committed BENCH_fig19.json =="
+    "$root/build/bench/fig19_lergan_vs_prime" \
+        --bench-check "$root/BENCH_fig19.json" \
+        --bench-workers 1 --bench-repeats 2 >/dev/null
+else
+    echo "== perf guard skipped (no BENCH_fig19.json baseline) =="
+fi
+
 # The exec tests exercise the worker pool and the compile cache under
 # real concurrency, and the fault tests drive the Monte Carlo driver's
 # seeded trials across the same pool; TSan is the check that the

@@ -93,6 +93,7 @@ class IterationBuilder
 
     TaskGraph graph;
     StatSet energy;
+    int advances = 0; ///< controller advances issued by build()
 
     /** Build the full iteration: discriminator step then generator step. */
     void
@@ -244,6 +245,7 @@ class IterationBuilder
     TaskId
     advanceController(TaskId dep)
     {
+        ++advances;
         const auto switches = controller_.advance();
         if (metrics_) {
             metrics_->counter("ctrl.transitions").add(1);
@@ -585,13 +587,8 @@ class IterationBuilder
 LerGanAccelerator::LerGanAccelerator(
     const GanModel &model, AcceleratorConfig config,
     std::shared_ptr<const CompiledGan> compiled)
-    : model_(model), config_(std::move(config)),
-      compiled_(compiled ? std::move(compiled)
-                         : std::make_shared<const CompiledGan>(
-                               compileGan(model_, config_))),
-      machine_(config_), controller_(config_.reram, config_.cuPairs),
-      tileModel_(config_.reram),
-      cpuRes_(machine_.pool().create("host.cpu"))
+    : LerGanAccelerator(model, std::move(config), std::move(compiled),
+                        Prevalidated{})
 {
     const ValidationResult validation =
         validateMapping(model_, config_, *compiled_);
@@ -600,6 +597,19 @@ LerGanAccelerator::LerGanAccelerator(
                   validation.violations.empty()
                       ? ""
                       : validation.violations.front());
+}
+
+LerGanAccelerator::LerGanAccelerator(
+    const GanModel &model, AcceleratorConfig config,
+    std::shared_ptr<const CompiledGan> compiled, Prevalidated)
+    : model_(model), config_(std::move(config)),
+      compiled_(compiled ? std::move(compiled)
+                         : std::make_shared<const CompiledGan>(
+                               compileGan(model_, config_))),
+      machine_(config_), controller_(config_.reram, config_.cuPairs),
+      tileModel_(config_.reram),
+      cpuRes_(machine_.pool().create("host.cpu"))
+{
 }
 
 TrainingReport
@@ -627,24 +637,62 @@ LerGanAccelerator::resourceNames() const
     return names;
 }
 
-TrainingReport
-LerGanAccelerator::trainIterationImpl(Tracer *tracer,
-                                      MetricsRegistry *metrics)
+std::shared_ptr<const IterationTemplate>
+LerGanAccelerator::makeIterationTemplate()
 {
-    machine_.resetResources();
+    const auto scope = HostProfiler::global().scope("schedule");
     controller_.reset();
 
+    // Build against a private registry so the template captures the
+    // build-time counter increments (controller transitions, per-link
+    // flits) as replayable deltas, whether or not the triggering run
+    // has telemetry attached.
+    MetricsRegistry buildMetrics;
     IterationBuilder builder(model_, config_, *compiled_, machine_,
-                             controller_, tileModel_, cpuRes_, metrics);
-    {
-        const auto scope = HostProfiler::global().scope("schedule");
-        builder.build();
+                             controller_, tileModel_, cpuRes_,
+                             &buildMetrics);
+    builder.build();
+
+    auto tmpl = std::make_shared<IterationTemplate>();
+    tmpl->graph = std::move(builder.graph);
+    tmpl->buildEnergy = std::move(builder.energy);
+    tmpl->controllerAdvances = builder.advances;
+    const MetricsSnapshot snapshot = buildMetrics.snapshot();
+    tmpl->counterDeltas.assign(snapshot.counters.begin(),
+                               snapshot.counters.end());
+    return tmpl;
+}
+
+TrainingReport
+LerGanAccelerator::trainIterationImpl(Tracer *tracer,
+                                      MetricsRegistry *metrics,
+                                      const IterationTemplate *tmpl)
+{
+    // The rebuild path is replay of a just-built template, so both
+    // paths produce byte-identical results by construction.
+    std::shared_ptr<const IterationTemplate> own;
+    if (!tmpl) {
+        own = makeIterationTemplate();
+        tmpl = own.get();
+    }
+
+    machine_.resetResources();
+    // Replay the controller FSM (energy and metrics of the switches are
+    // already in the template) so the accelerator ends an iteration in
+    // the same state regardless of which path ran it.
+    controller_.reset();
+    for (int i = 0; i < tmpl->controllerAdvances; ++i)
+        controller_.advance();
+    if (metrics) {
+        for (const auto &[name, delta] : tmpl->counterDeltas)
+            metrics->counter(name).add(delta);
     }
 
     ExecResult exec;
     {
         const auto scope = HostProfiler::global().scope("simulate");
-        exec = builder.graph.execute(machine_.pool(), tracer, metrics);
+        exec = tmpl->graph.execute(machine_.pool(), tracer, metrics,
+                                   &scratch_);
     }
     if (metrics) {
         metrics->counter("sim.iterations").add(1);
@@ -655,7 +703,7 @@ LerGanAccelerator::trainIterationImpl(Tracer *tracer,
     report.benchmark = model_.name;
     report.config = config_.label();
     report.iterationTime = exec.makespan;
-    report.stats = builder.energy;
+    report.stats = tmpl->buildEnergy;
     report.stats.merge(exec.stats);
     // Snapshot of the energy total at the moment the run produced it;
     // the audit layer compares the prefix sum against this to detect
@@ -695,10 +743,18 @@ TrainingReport
 LerGanAccelerator::trainIterations(int n, Tracer *tracer,
                                    MetricsRegistry *metrics)
 {
+    return trainIterations(n, tracer, metrics, nullptr);
+}
+
+TrainingReport
+LerGanAccelerator::trainIterations(int n, Tracer *tracer,
+                                   MetricsRegistry *metrics,
+                                   const IterationTemplate *tmpl)
+{
     LERGAN_ASSERT(n > 0, "need at least one iteration");
     if (tracer)
         tracer->clear();
-    TrainingReport report = trainIterationImpl(tracer, metrics);
+    TrainingReport report = trainIterationImpl(tracer, metrics, tmpl);
     report.stats.set("total.iterations", n);
     report.stats.set("total.time_ms", report.timeMs() * n);
     report.stats.set("total.energy_mj", pjToMj(report.totalEnergyPj()) * n);

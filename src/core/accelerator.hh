@@ -15,22 +15,57 @@
 #ifndef LERGAN_CORE_ACCELERATOR_HH
 #define LERGAN_CORE_ACCELERATOR_HH
 
+#include <cstdint>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/compiler.hh"
 #include "core/controller.hh"
 #include "core/machine.hh"
 #include "core/report.hh"
 #include "reram/tile.hh"
+#include "sim/task_graph.hh"
 #include "sim/trace.hh"
 #include "telemetry/metrics.hh"
 
 namespace lergan {
 
+/**
+ * One training iteration, compiled to a replayable template.
+ *
+ * GAN training iterations are structurally identical, so the task DAG,
+ * the schedule-independent build-time energies and the build-time
+ * metric deltas of one iteration are a pure function of (model,
+ * config): build them once, replay them for every run of that pair.
+ * The frozen graph is immutable and safe to execute concurrently; the
+ * per-run mutable state lives in the executing accelerator.
+ *
+ * Resource ids inside the graph index into the machine's pool, which is
+ * constructed deterministically from the configuration — a template
+ * built by one accelerator is valid for any accelerator of the same
+ * (model, config) pair, which is what makes a shared cache sound
+ * (keyed by pairFingerprint, see core/sweep.hh).
+ */
+struct IterationTemplate {
+    TaskGraph graph;
+    /** Schedule-independent energies accrued at build time. */
+    StatSet buildEnergy;
+    /** Counter increments the build applies to a metrics registry
+     *  (controller transitions, per-link flits), name-ordered. */
+    std::vector<std::pair<std::string, std::uint64_t>> counterDeltas;
+    /** Controller advances per iteration (replayed for FSM fidelity). */
+    int controllerAdvances = 0;
+};
+
 /** A GAN mapped onto one PIM configuration, ready to simulate. */
 class LerGanAccelerator
 {
   public:
+    /** Tag: the compiled mapping already passed validateMapping. */
+    struct Prevalidated {};
+
     /**
      * Compile @p model for @p config and get ready to simulate. Pass a
      * cached @p compiled (e.g. from a CompiledModelCache) to skip the
@@ -43,6 +78,15 @@ class LerGanAccelerator
      */
     LerGanAccelerator(const GanModel &model, AcceleratorConfig config,
                       std::shared_ptr<const CompiledGan> compiled = nullptr);
+
+    /**
+     * Same, but skips re-validating @p compiled: for callers that hold
+     * a mapping known to have passed validateMapping already (e.g. a
+     * CompiledModelCache filled through compileGanValidated).
+     */
+    LerGanAccelerator(const GanModel &model, AcceleratorConfig config,
+                      std::shared_ptr<const CompiledGan> compiled,
+                      Prevalidated);
 
     /** Simulate one full training iteration. */
     TrainingReport trainIteration();
@@ -77,6 +121,26 @@ class LerGanAccelerator
     TrainingReport trainIterations(int n, Tracer *tracer,
                                    MetricsRegistry *metrics = nullptr);
 
+    /**
+     * trainIterations() replaying @p tmpl instead of rebuilding the
+     * iteration DAG — the fast path of repeated sweeps. @p tmpl must
+     * come from makeIterationTemplate() of an accelerator with the same
+     * (model, config) pair; results, traces and metrics are identical
+     * to the rebuild path by construction (the rebuild path itself
+     * builds a template and replays it once).
+     */
+    TrainingReport trainIterations(int n, Tracer *tracer,
+                                   MetricsRegistry *metrics,
+                                   const IterationTemplate *tmpl);
+
+    /**
+     * Compile one training iteration into a replayable template (see
+     * IterationTemplate). Pure with respect to simulation results: the
+     * machine's mutable state is untouched except the route cache and
+     * the controller (which every run resets anyway).
+     */
+    std::shared_ptr<const IterationTemplate> makeIterationTemplate();
+
     const CompiledGan &compiled() const { return *compiled_; }
     const GanModel &model() const { return model_; }
     const AcceleratorConfig &config() const { return config_; }
@@ -85,7 +149,9 @@ class LerGanAccelerator
   private:
     /** Shared implementation of the (traced) iteration runs. */
     TrainingReport trainIterationImpl(Tracer *tracer,
-                                      MetricsRegistry *metrics = nullptr);
+                                      MetricsRegistry *metrics = nullptr,
+                                      const IterationTemplate *tmpl =
+                                          nullptr);
 
     GanModel model_;
     AcceleratorConfig config_;
@@ -95,6 +161,8 @@ class LerGanAccelerator
     TileModel tileModel_;
     /** Host-CPU resource (update arithmetic serializes here). */
     std::size_t cpuRes_;
+    /** Reusable executor buffers (near-zero allocation on replay). */
+    ExecScratch scratch_;
 };
 
 } // namespace lergan

@@ -9,7 +9,8 @@
 namespace lergan {
 
 ExperimentSweep::ExperimentSweep()
-    : cache_(std::make_shared<CompiledModelCache>())
+    : cache_(std::make_shared<CompiledModelCache>()),
+      templates_(std::make_shared<MemoCache<IterationTemplate>>())
 {
 }
 
@@ -96,13 +97,23 @@ ExperimentSweep::run(const RunOptions &options) const
             std::shared_ptr<const CompiledGan> compiled =
                 cache_->get(*point.model, *point.config,
                             compileGanValidated, &cache_hit);
+            // The cache only holds validated mappings, so the point
+            // skips re-validating them per run.
             LerGanAccelerator accelerator(*point.model, *point.config,
-                                          std::move(compiled));
+                                          std::move(compiled),
+                                          LerGanAccelerator::Prevalidated{});
+            // The iteration DAG is a pure function of (model, config):
+            // lower it once per pair, replay it for every point and
+            // every repeated run() of the sweep.
+            std::shared_ptr<const IterationTemplate> tmpl =
+                templates_->get(
+                    pairFingerprint(*point.model, *point.config),
+                    [&] { return accelerator.makeIterationTemplate(); });
             Tracer tracer;
             Tracer *trace =
                 audit_.enabled && audit_.timing ? &tracer : nullptr;
             result.report = accelerator.trainIterations(
-                options.iterations, trace, metrics);
+                options.iterations, trace, metrics, tmpl.get());
             result.crossbarsUsed = accelerator.compiled().crossbarsUsed;
             result.oversubscribed =
                 accelerator.compiled().oversubscribedCrossbars;

@@ -151,6 +151,14 @@ class ExperimentSweep
      */
     CompiledModelCache &cache() const { return *cache_; }
 
+    /**
+     * The per-iteration DAG template cache shared by every run() of
+     * this sweep, keyed by pairFingerprint like the compiled-model
+     * cache: each (model, config) pair lowers its training iteration
+     * to a task graph once, and every run of the pair replays it.
+     */
+    MemoCache<IterationTemplate> &templates() const { return *templates_; }
+
     /** @name Legacy exporters (forward to core/sweep_io.hh) */
     ///@{
     static void writeJson(std::ostream &os,
@@ -170,6 +178,7 @@ class ExperimentSweep
     std::vector<std::pair<std::string, AcceleratorConfig>> configs_;
     std::vector<ExplicitPoint> extraPoints_;
     std::shared_ptr<CompiledModelCache> cache_;
+    std::shared_ptr<MemoCache<IterationTemplate>> templates_;
     AuditOptions audit_;
     std::shared_ptr<MetricsRegistry> telemetry_;
 };

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Generic once-per-key memoization cache for expensive pure builds.
+ *
+ * Extracted from the compiled-model cache so other pure, structurally
+ * keyed artifacts (compiled GAN mappings, per-iteration task-DAG
+ * templates) share one concurrency story:
+ *
+ *  - get() may be called concurrently; two threads racing on the same
+ *    key build exactly once — the loser blocks on the winner's future.
+ *  - Hit/miss counters are exact (a blocked racer counts as a hit),
+ *    which the tests use to assert build-once behavior.
+ *  - If the build throws, every blocked caller rethrows and the entry
+ *    is dropped, so a later request can retry.
+ *
+ * Values are handed out as shared immutable pointers: a cached value
+ * may be used concurrently from many worker threads, so Value must be
+ * safe to read (not mutate) in parallel.
+ */
+
+#ifndef LERGAN_EXEC_MEMO_CACHE_HH
+#define LERGAN_EXEC_MEMO_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace lergan {
+
+/** Keyed build-once store of shared immutable values. */
+template <typename Value>
+class MemoCache
+{
+  public:
+    using BuildFn = std::function<std::shared_ptr<const Value>()>;
+
+    /**
+     * Return the value of @p key, invoking @p build on the first
+     * request. Concurrent first requests build once; the other callers
+     * block until the result is ready.
+     *
+     * @param was_hit when non-null, set to whether this request was
+     *        served from the cache (racers blocked on an in-flight
+     *        build count as hits, matching the counters).
+     */
+    std::shared_ptr<const Value>
+    get(const std::string &key, const BuildFn &build,
+        bool *was_hit = nullptr)
+    {
+        std::promise<std::shared_ptr<const Value>> promise;
+        {
+            std::unique_lock lock(mutex_);
+            auto it = entries_.find(key);
+            if (it != entries_.end()) {
+                ++hits_;
+                if (was_hit)
+                    *was_hit = true;
+                Future future = it->second;
+                lock.unlock();
+                return future.get(); // rethrows a racing build's failure
+            }
+            ++misses_;
+            if (was_hit)
+                *was_hit = false;
+            entries_.emplace(key, promise.get_future().share());
+        }
+
+        // Build outside the lock: different keys build in parallel;
+        // racers on this key block on the shared future above.
+        try {
+            std::shared_ptr<const Value> value = build();
+            promise.set_value(value);
+            return value;
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+            std::lock_guard lock(mutex_);
+            entries_.erase(key);
+            throw;
+        }
+    }
+
+    /** Requests served from the cache (exact). */
+    std::uint64_t
+    hits() const
+    {
+        std::lock_guard lock(mutex_);
+        return hits_;
+    }
+
+    /** Requests that had to build (exact). */
+    std::uint64_t
+    misses() const
+    {
+        std::lock_guard lock(mutex_);
+        return misses_;
+    }
+
+    /** Distinct values currently held. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard lock(mutex_);
+        return entries_.size();
+    }
+
+    /** Drop every entry and reset the counters. */
+    void
+    clear()
+    {
+        std::lock_guard lock(mutex_);
+        entries_.clear();
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+  private:
+    using Future = std::shared_future<std::shared_ptr<const Value>>;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Future> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace lergan
+
+#endif // LERGAN_EXEC_MEMO_CACHE_HH

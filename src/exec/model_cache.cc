@@ -70,75 +70,24 @@ configFingerprint(const AcceleratorConfig &config)
     return oss.str();
 }
 
+std::string
+pairFingerprint(const GanModel &model, const AcceleratorConfig &config)
+{
+    return modelFingerprint(model) + "##" + configFingerprint(config);
+}
+
 std::shared_ptr<const CompiledGan>
 CompiledModelCache::get(const GanModel &model,
                         const AcceleratorConfig &config,
                         const CompileFn &compile, bool *was_hit)
 {
-    const std::string key =
-        modelFingerprint(model) + "##" + configFingerprint(config);
-
-    std::promise<std::shared_ptr<const CompiledGan>> promise;
-    {
-        std::unique_lock lock(mutex_);
-        auto it = entries_.find(key);
-        if (it != entries_.end()) {
-            ++hits_;
-            if (was_hit)
-                *was_hit = true;
-            Future future = it->second;
-            lock.unlock();
-            return future.get(); // rethrows a racing compile's failure
-        }
-        ++misses_;
-        if (was_hit)
-            *was_hit = false;
-        entries_.emplace(key, promise.get_future().share());
-    }
-
-    // Compile outside the lock: points with different keys compile in
-    // parallel; racers on this key block on the shared future above.
-    try {
-        auto compiled =
-            std::make_shared<const CompiledGan>(compile(model, config));
-        promise.set_value(compiled);
-        return compiled;
-    } catch (...) {
-        promise.set_exception(std::current_exception());
-        std::lock_guard lock(mutex_);
-        entries_.erase(key);
-        throw;
-    }
-}
-
-std::uint64_t
-CompiledModelCache::hits() const
-{
-    std::lock_guard lock(mutex_);
-    return hits_;
-}
-
-std::uint64_t
-CompiledModelCache::misses() const
-{
-    std::lock_guard lock(mutex_);
-    return misses_;
-}
-
-std::size_t
-CompiledModelCache::size() const
-{
-    std::lock_guard lock(mutex_);
-    return entries_.size();
-}
-
-void
-CompiledModelCache::clear()
-{
-    std::lock_guard lock(mutex_);
-    entries_.clear();
-    hits_ = 0;
-    misses_ = 0;
+    return cache_.get(
+        pairFingerprint(model, config),
+        [&] {
+            return std::make_shared<const CompiledGan>(
+                compile(model, config));
+        },
+        was_hit);
 }
 
 } // namespace lergan

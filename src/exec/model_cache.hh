@@ -10,10 +10,12 @@
  * instances, so repeated runs (sessions, repeated sweeps, baselines
  * recompiled per figure) stop paying the compile cost per use.
  *
- * Thread safety: get() may be called concurrently. Two threads racing
- * on the same key produce exactly one compile — the loser blocks on the
- * winner's future. Hit/miss counters are exact (a blocked racer counts
- * as a hit), which the tests use to assert compile-once behavior.
+ * The concurrency machinery (build-once futures, exact hit/miss
+ * counters, retry after a failed build) lives in the generic
+ * MemoCache (exec/memo_cache.hh); this wrapper contributes the
+ * fingerprint keys. The same fingerprints key the per-iteration DAG
+ * templates (core/sweep.hh), so everything derived from a (model,
+ * config) pair shares one identity.
  *
  * The compile step is injected as a callback so this module stays below
  * core in the library stack (exec does not link the compiler).
@@ -24,13 +26,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <future>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "core/compiler.hh"
+#include "exec/memo_cache.hh"
 
 namespace lergan {
 
@@ -39,6 +39,10 @@ std::string modelFingerprint(const GanModel &model);
 
 /** Fingerprint of a configuration, device parameters included. */
 std::string configFingerprint(const AcceleratorConfig &config);
+
+/** The cache key of a (model, config) pair. */
+std::string pairFingerprint(const GanModel &model,
+                            const AcceleratorConfig &config);
 
 /** Shared store of compiled (model, config) mappings. */
 class CompiledModelCache
@@ -65,25 +69,19 @@ class CompiledModelCache
                                            bool *was_hit = nullptr);
 
     /** Requests served from the cache (exact). */
-    std::uint64_t hits() const;
+    std::uint64_t hits() const { return cache_.hits(); }
 
     /** Requests that had to compile (exact). */
-    std::uint64_t misses() const;
+    std::uint64_t misses() const { return cache_.misses(); }
 
     /** Distinct compiled mappings currently held. */
-    std::size_t size() const;
+    std::size_t size() const { return cache_.size(); }
 
     /** Drop every entry and reset the counters. */
-    void clear();
+    void clear() { cache_.clear(); }
 
   private:
-    using Future =
-        std::shared_future<std::shared_ptr<const CompiledGan>>;
-
-    mutable std::mutex mutex_;
-    std::map<std::string, Future> entries_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
+    MemoCache<CompiledGan> cache_;
 };
 
 } // namespace lergan

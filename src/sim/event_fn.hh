@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Small-buffer-optimized move-only callable for simulation events.
+ *
+ * The event queue used to store std::function<void()>, which heap
+ * allocates for any capture list beyond a couple of words and was
+ * copied on every pop. EventFn is the replacement: callables up to
+ * kInlineBytes live inside the event entry itself (no allocation, no
+ * pointer chase on invoke), larger ones fall back to one heap box.
+ * EventFn is move-only — an event is scheduled once and fired once, so
+ * copyability was never part of the contract, only a cost.
+ */
+
+#ifndef LERGAN_SIM_EVENT_FN_HH
+#define LERGAN_SIM_EVENT_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lergan {
+namespace sim {
+
+/** Move-only type-erased void() callable with small-buffer storage. */
+class EventFn
+{
+  public:
+    /** Captures up to this size are stored inline (no allocation). */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    EventFn() = default;
+
+    template <typename F,
+              typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, EventFn> &&
+                  std::is_invocable_r_v<void, D &>>>
+    EventFn(F &&fn) // NOLINT: implicit, mirrors std::function
+    {
+        constexpr bool fits =
+            sizeof(D) <= kInlineBytes &&
+            alignof(D) <= alignof(std::max_align_t) &&
+            std::is_nothrow_move_constructible_v<D>;
+        if constexpr (fits) {
+            ::new (static_cast<void *>(storage_))
+                D(std::forward<F>(fn));
+            ops_ = &inlineOps<D>;
+        } else {
+            *reinterpret_cast<D **>(storage_) =
+                new D(std::forward<F>(fn));
+            ops_ = &boxedOps<D>;
+        }
+    }
+
+    EventFn(EventFn &&other) noexcept { moveFrom(other); }
+
+    EventFn &
+    operator=(EventFn &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn &) = delete;
+    EventFn &operator=(const EventFn &) = delete;
+
+    ~EventFn() { destroy(); }
+
+    /** Invoke the stored callable (undefined when empty). */
+    void
+    operator()()
+    {
+        ops_->invoke(storage_);
+    }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** True when the callable lives in the inline buffer (for tests). */
+    bool
+    inlineStored() const
+    {
+        return ops_ != nullptr && ops_->inlined;
+    }
+
+  private:
+    struct Ops {
+        void (*invoke)(void *storage);
+        /** Move-construct into @p dst from @p src and destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *storage);
+        bool inlined;
+    };
+
+    template <typename D>
+    static constexpr Ops inlineOps = {
+        [](void *storage) { (*std::launder(reinterpret_cast<D *>(storage)))(); },
+        [](void *dst, void *src) noexcept {
+            D *from = std::launder(reinterpret_cast<D *>(src));
+            ::new (dst) D(std::move(*from));
+            from->~D();
+        },
+        [](void *storage) {
+            std::launder(reinterpret_cast<D *>(storage))->~D();
+        },
+        true,
+    };
+
+    template <typename D>
+    static constexpr Ops boxedOps = {
+        [](void *storage) { (**reinterpret_cast<D **>(storage))(); },
+        [](void *dst, void *src) noexcept {
+            *reinterpret_cast<D **>(dst) =
+                *reinterpret_cast<D **>(src);
+        },
+        [](void *storage) { delete *reinterpret_cast<D **>(storage); },
+        false,
+    };
+
+    void
+    moveFrom(EventFn &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_)
+            ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+    }
+
+    void
+    destroy()
+    {
+        if (ops_) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace sim
+} // namespace lergan
+
+#endif // LERGAN_SIM_EVENT_FN_HH

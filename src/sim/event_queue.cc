@@ -1,43 +1,40 @@
 #include "sim/event_queue.hh"
 
-#include "common/logging.hh"
-
 namespace lergan {
 
-void
+EventId
 EventQueue::scheduleAt(PicoSeconds when, Callback fn)
 {
-    LERGAN_ASSERT(when >= now_, "event scheduled into the past: ", when,
-                  " < ", now_);
-    events_.push(Entry{when, nextSeq_++, std::move(fn)});
+    return events_.scheduleAt(when, std::move(fn));
 }
 
-void
+EventId
 EventQueue::scheduleAfter(PicoSeconds delay, Callback fn)
 {
-    scheduleAt(now_ + delay, std::move(fn));
+    return scheduleAt(events_.now() + delay, std::move(fn));
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    return events_.cancel(id);
 }
 
 PicoSeconds
 EventQueue::run()
 {
-    while (!events_.empty()) {
-        // Copy out before pop so the callback may schedule more events.
-        Entry entry = events_.top();
-        events_.pop();
-        now_ = entry.when;
-        entry.fn();
-    }
-    return now_;
+    // The callback is moved out before it runs so it may freely
+    // schedule (or cancel) more events.
+    sim::EventFn fn;
+    while (events_.pop(fn))
+        fn();
+    return events_.now();
 }
 
 void
 EventQueue::reset()
 {
-    while (!events_.empty())
-        events_.pop();
-    now_ = 0;
-    nextSeq_ = 0;
+    events_.reset();
 }
 
 } // namespace lergan

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Reference binary-heap event queue.
+ *
+ * This is the simulator's original O(log n) kernel, kept as the
+ * executable specification of the (time, seq) determinism contract: the
+ * property test in tests/test_properties.cc drives it and the
+ * production calendar queue (sim/calendar_queue.hh) with the same ~1M
+ * randomized schedule/fire/cancel operations and asserts identical
+ * firing sequences. Anything still wanting a plain heap (it has the
+ * better worst case for adversarial, non-clustered schedules) can use
+ * it directly.
+ *
+ * Unlike the original, run() MOVES the top entry out of the heap
+ * instead of copying it — the per-event std::function copy was pure
+ * overhead. Cancellation is supported the same way as in the calendar
+ * queue: a per-id state mark plus a pop-time skip.
+ */
+
+#ifndef LERGAN_SIM_HEAP_EVENT_QUEUE_HH
+#define LERGAN_SIM_HEAP_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace lergan {
+namespace sim {
+
+/** Binary-heap implementation of the deterministic event queue. */
+class HeapEventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    PicoSeconds now() const { return now_; }
+
+    /**
+     * Schedule @p fn at absolute time @p when (@pre when >= now()).
+     * @return the event's id, usable with cancel().
+     */
+    EventId
+    scheduleAt(PicoSeconds when, Callback fn)
+    {
+        LERGAN_ASSERT(when >= now_,
+                      "event scheduled into the past: ", when, " < ",
+                      now_);
+        const EventId id = states_.size();
+        states_.push_back(State::Pending);
+        ++live_;
+        events_.push(Entry{when, id, std::move(fn)});
+        return id;
+    }
+
+    EventId
+    scheduleAfter(PicoSeconds delay, Callback fn)
+    {
+        return scheduleAt(now_ + delay, std::move(fn));
+    }
+
+    /** Cancel a pending event; @return true when it was pending. */
+    bool
+    cancel(EventId id)
+    {
+        if (id >= states_.size() || states_[id] != State::Pending)
+            return false;
+        states_[id] = State::Cancelled;
+        --live_;
+        return true;
+    }
+
+    /** Events scheduled and neither fired nor cancelled. */
+    std::size_t pending() const { return live_; }
+
+    /** Run until drained; @return the time of the last fired event. */
+    PicoSeconds
+    run()
+    {
+        while (!events_.empty()) {
+            // Move (not copy) the entry out before pop: top() is const,
+            // but the heap no longer cares about the moved-from value.
+            Entry entry =
+                std::move(const_cast<Entry &>(events_.top()));
+            events_.pop();
+            if (states_[entry.seq] == State::Cancelled)
+                continue;
+            states_[entry.seq] = State::Fired;
+            --live_;
+            now_ = entry.when;
+            entry.fn();
+        }
+        return now_;
+    }
+
+    /** Drop all pending events and reset time to zero. */
+    void
+    reset()
+    {
+        while (!events_.empty())
+            events_.pop();
+        states_.clear();
+        live_ = 0;
+        now_ = 0;
+    }
+
+  private:
+    struct Entry {
+        PicoSeconds when;
+        EventId seq;
+        Callback fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    enum class State : std::uint8_t { Pending, Fired, Cancelled };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> events_;
+    std::vector<State> states_;
+    std::size_t live_ = 0;
+    PicoSeconds now_ = 0;
+};
+
+} // namespace sim
+} // namespace lergan
+
+#endif // LERGAN_SIM_HEAP_EVENT_QUEUE_HH

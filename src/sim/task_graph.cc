@@ -9,8 +9,8 @@ namespace lergan {
 TaskId
 TaskGraph::addTask(Task task)
 {
+    LERGAN_ASSERT(!frozen_->done, "addTask after the graph was executed");
     tasks_.push_back(std::move(task));
-    successors_.emplace_back();
     depCount_.push_back(0);
     return tasks_.size() - 1;
 }
@@ -18,23 +18,70 @@ TaskGraph::addTask(Task task)
 void
 TaskGraph::addDep(TaskId task, TaskId dep)
 {
+    LERGAN_ASSERT(!frozen_->done, "addDep after the graph was executed");
     LERGAN_ASSERT(task < tasks_.size(), "addDep: bad task id ", task);
     LERGAN_ASSERT(dep < tasks_.size(), "addDep: bad dep id ", dep);
     LERGAN_ASSERT(dep != task, "task cannot depend on itself");
-    successors_[dep].push_back(task);
+    edges_.emplace_back(dep, task);
     depCount_[task]++;
+}
+
+const TaskGraph::Frozen &
+TaskGraph::freeze() const
+{
+    Frozen &f = *frozen_;
+    std::call_once(f.once, [this, &f] {
+        const std::size_t n = tasks_.size();
+        f.durations.resize(n);
+        f.energies.resize(n);
+        f.resStart.assign(n + 1, 0);
+        for (std::size_t id = 0; id < n; ++id) {
+            f.durations[id] = tasks_[id].duration;
+            f.energies[id] = tasks_[id].energy;
+            f.resStart[id + 1] =
+                f.resStart[id] +
+                static_cast<std::uint32_t>(tasks_[id].resources.size());
+        }
+        f.resIds.reserve(f.resStart[n]);
+        for (const Task &task : tasks_)
+            for (std::size_t rid : task.resources)
+                f.resIds.push_back(static_cast<std::uint32_t>(rid));
+
+        // CSR successor lists via a counting sort over the edge list:
+        // stable, so each task's successors keep their addDep order —
+        // the firing-order contract depends on it.
+        f.succStart.assign(n + 1, 0);
+        for (const auto &[dep, task] : edges_)
+            f.succStart[dep + 1]++;
+        for (std::size_t id = 0; id < n; ++id)
+            f.succStart[id + 1] += f.succStart[id];
+        f.succIds.resize(edges_.size());
+        std::vector<std::uint32_t> fill(f.succStart.begin(),
+                                        f.succStart.end() - 1);
+        for (const auto &[dep, task] : edges_)
+            f.succIds[fill[dep]++] = static_cast<std::uint32_t>(task);
+
+        f.done = true;
+    });
+    return f;
 }
 
 ExecResult
 TaskGraph::execute(ResourcePool &pool, Tracer *tracer,
-                   MetricsRegistry *metrics) const
+                   MetricsRegistry *metrics, ExecScratch *scratch) const
 {
-    ExecResult result;
-    result.endTimes.assign(tasks_.size(), 0);
+    const Frozen &f = freeze();
+    const std::size_t n = tasks_.size();
 
-    EventQueue queue;
-    std::vector<std::uint32_t> unmet(depCount_);
-    std::vector<PicoSeconds> ready(tasks_.size(), 0);
+    ExecResult result;
+    result.endTimes.assign(n, 0);
+
+    ExecScratch local;
+    ExecScratch &s = scratch ? *scratch : local;
+    s.queue.reset();
+    s.unmet.assign(depCount_.begin(), depCount_.end());
+    s.ready.assign(n, 0);
+
     std::size_t completed = 0;
 
     // Occupancy of the executor itself, sampled at every fire and
@@ -53,14 +100,14 @@ TaskGraph::execute(ResourcePool &pool, Tracer *tracer,
     const bool observing = tracer || metrics;
     auto sample = [&] {
         if (metrics) {
-            depthHist->observe(queue.pending());
+            depthHist->observe(s.queue.pending());
             readyHist->observe(readyCount);
             inflightHist->observe(inflight);
         }
         if (tracer) {
-            const PicoSeconds now = queue.now();
+            const PicoSeconds now = s.queue.now();
             tracer->recordCounter("sim.queue.depth", now,
-                                  static_cast<double>(queue.pending()));
+                                  static_cast<double>(s.queue.pending()));
             tracer->recordCounter("sim.ready.tasks", now,
                                   static_cast<double>(readyCount));
             tracer->recordCounter("sim.inflight.tasks", now,
@@ -68,65 +115,75 @@ TaskGraph::execute(ResourcePool &pool, Tracer *tracer,
         }
     };
 
-    // fire() runs at the task's ready time; it commits FIFO reservations
-    // on every resource the task needs and schedules the completion event.
-    std::function<void(TaskId)> fire = [&](TaskId id) {
-        const Task &t = tasks_[id];
-        PicoSeconds start = queue.now();
-        for (std::size_t rid : t.resources)
-            start = std::max(start, pool[rid].nextFree());
-        for (std::size_t rid : t.resources) {
-            PicoSeconds got = pool[rid].reserve(start, t.duration);
-            LERGAN_ASSERT(got == start, "non-FIFO reservation for ",
-                          t.label);
+    for (TaskId id = 0; id < n; ++id) {
+        if (s.unmet[id] == 0) {
+            ++readyCount;
+            s.queue.scheduleAt(0, TaskEvent{id, false});
         }
-        const PicoSeconds end = start + t.duration;
-        if (tracer) {
-            tracer->record(t.label, start, end,
-                           t.resources.empty() ? SIZE_MAX
-                                               : t.resources.front());
-        }
-        queue.scheduleAt(end, [&, id, end] {
-            const Task &task = tasks_[id];
-            if (task.energy != 0)
-                result.stats.add(task.energyKey, task.energy);
+    }
+
+    // The POD event loop. A fire event commits FIFO reservations on
+    // every resource the task needs and schedules the completion event;
+    // a completion charges energy and releases the successors. Event
+    // (time, seq) order is identical to the historic closure-based
+    // executor, so results, traces and metrics are byte-compatible.
+    TaskEvent event;
+    while (s.queue.pop(event)) {
+        const TaskId id = event.task;
+        if (!event.complete) {
+            PicoSeconds start = s.queue.now();
+            const std::uint32_t resBegin = f.resStart[id];
+            const std::uint32_t resEnd = f.resStart[id + 1];
+            for (std::uint32_t r = resBegin; r < resEnd; ++r)
+                start = std::max(start, pool[f.resIds[r]].nextFree());
+            for (std::uint32_t r = resBegin; r < resEnd; ++r) {
+                const PicoSeconds got =
+                    pool[f.resIds[r]].reserve(start, f.durations[id]);
+                LERGAN_ASSERT(got == start, "non-FIFO reservation for ",
+                              tasks_[id].label);
+            }
+            const PicoSeconds end = start + f.durations[id];
+            if (tracer) {
+                tracer->record(tasks_[id].label, start, end,
+                               resBegin == resEnd ? SIZE_MAX
+                                                  : f.resIds[resBegin]);
+            }
+            s.queue.scheduleAt(end, TaskEvent{id, true});
+            --readyCount;
+            ++inflight;
+            if (observing)
+                sample();
+        } else {
+            const PicoSeconds end = s.queue.now();
+            if (f.energies[id] != 0)
+                result.stats.add(tasks_[id].energyKey, f.energies[id]);
             result.endTimes[id] = end;
             result.makespan = std::max(result.makespan, end);
             ++completed;
-            for (TaskId succ : successors_[id]) {
-                ready[succ] = std::max(ready[succ], end);
-                LERGAN_ASSERT(unmet[succ] > 0, "dependency underflow");
-                if (--unmet[succ] == 0) {
+            for (std::uint32_t e = f.succStart[id];
+                 e < f.succStart[id + 1]; ++e) {
+                const TaskId succ = f.succIds[e];
+                s.ready[succ] = std::max(s.ready[succ], end);
+                LERGAN_ASSERT(s.unmet[succ] > 0, "dependency underflow");
+                if (--s.unmet[succ] == 0) {
                     ++readyCount;
-                    queue.scheduleAt(ready[succ],
-                                     [&fire, succ] { fire(succ); });
+                    s.queue.scheduleAt(s.ready[succ],
+                                       TaskEvent{succ, false});
                 }
             }
             --inflight;
             if (observing)
                 sample();
-        });
-        --readyCount;
-        ++inflight;
-        if (observing)
-            sample();
-    };
-
-    for (TaskId id = 0; id < tasks_.size(); ++id) {
-        if (unmet[id] == 0) {
-            ++readyCount;
-            queue.scheduleAt(0, [&fire, id] { fire(id); });
         }
     }
 
-    queue.run();
-    LERGAN_ASSERT(completed == tasks_.size(),
+    LERGAN_ASSERT(completed == n,
                   "task graph has a cycle or orphaned dependency: ",
-                  completed, " of ", tasks_.size(), " tasks completed");
-    result.stats.set("sim.tasks", static_cast<double>(tasks_.size()));
+                  completed, " of ", n, " tasks completed");
+    result.stats.set("sim.tasks", static_cast<double>(n));
     if (metrics) {
         metrics->counter("sim.graph.runs").add(1);
-        metrics->counter("sim.tasks.executed").add(tasks_.size());
+        metrics->counter("sim.tasks.executed").add(n);
         metrics->histogram("sim.makespan_ps").observe(result.makespan);
     }
     return result;

@@ -8,6 +8,20 @@
  * is event-driven: a task fires when its last dependency completes, then
  * reserves its resources FIFO, which naturally models pipelining across a
  * minibatch and contention on tiles and links.
+ *
+ * Execution is built for replay speed. On the first execute() the graph
+ * freezes its hot state into struct-of-arrays form — flat duration and
+ * energy arrays plus CSR resource and successor lists — so the event
+ * loop never touches the cold per-task strings or per-task vectors. The
+ * events themselves are POD (task id + kind) dispatched by a switch in
+ * the executor: no closures, no type erasure, no allocation per event.
+ * With an ExecScratch the remaining per-run buffers (event calendar,
+ * dependency counters, ready times) are reused across runs, so a replay
+ * does near-zero allocation after the first execution.
+ *
+ * A frozen graph is immutable and may be executed concurrently from
+ * several worker threads (each run's mutable state lives in its own
+ * scratch); this is what makes per-iteration DAG templating safe.
  */
 
 #ifndef LERGAN_SIM_TASK_GRAPH_HH
@@ -15,12 +29,15 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
-#include "sim/event_queue.hh"
+#include "sim/calendar_queue.hh"
 #include "sim/resource.hh"
 #include "sim/trace.hh"
 #include "telemetry/metrics.hh"
@@ -57,20 +74,49 @@ struct ExecResult {
     std::vector<PicoSeconds> endTimes;
 };
 
+/** POD event of the task executor: fire or complete one task. */
+struct TaskEvent {
+    TaskId task = kNoTask;
+    /** false = fire (start the task), true = completion. */
+    bool complete = false;
+};
+
+/**
+ * Reusable per-execution buffers of TaskGraph::execute().
+ *
+ * Optional: execute() allocates its own when none is given. Passing the
+ * same scratch to repeated executions (of any graphs) reuses the event
+ * calendar and counter buffers, eliminating steady-state allocation.
+ * A scratch must not be shared between concurrent executions.
+ */
+class ExecScratch
+{
+  public:
+    ExecScratch() = default;
+
+  private:
+    friend class TaskGraph;
+    sim::CalendarQueue<TaskEvent> queue;
+    std::vector<std::uint32_t> unmet;
+    std::vector<PicoSeconds> ready;
+};
+
 /**
  * A directed acyclic graph of tasks with resource requirements.
  *
- * Build with addTask()/addDep(), then run execute(). The graph itself is
- * immutable during execution and may be executed repeatedly (resources and
- * runtime state are reset per run).
+ * Build with addTask()/addDep(), then run execute(). The first
+ * execution freezes the graph (further addTask/addDep calls are a bug);
+ * a frozen graph may be executed repeatedly — and concurrently —
+ * (resources and runtime state are reset per run).
  */
 class TaskGraph
 {
   public:
-    /** Append a task; @return its id. */
+    /** Append a task; @return its id. @pre not yet executed. */
     TaskId addTask(Task task);
 
-    /** Declare that @p task cannot start until @p dep has finished. */
+    /** Declare that @p task cannot start until @p dep has finished.
+     *  @pre not yet executed. */
     void addDep(TaskId task, TaskId dep);
 
     /** Number of tasks in the graph. */
@@ -92,15 +138,40 @@ class TaskGraph
      * @param pool    resource pool the task resource ids index into.
      * @param tracer  optional recorder of per-task execution intervals.
      * @param metrics optional registry for sim.* metrics.
+     * @param scratch optional reusable buffers (see ExecScratch).
      * @return makespan, accumulated energy statistics and task end times.
      */
     ExecResult execute(ResourcePool &pool, Tracer *tracer = nullptr,
-                       MetricsRegistry *metrics = nullptr) const;
+                       MetricsRegistry *metrics = nullptr,
+                       ExecScratch *scratch = nullptr) const;
 
   private:
+    /**
+     * Frozen hot state, built once on first execute: struct-of-arrays
+     * mirrors of the task list plus CSR lists, so the event loop reads
+     * only these flat arrays. Heap-held (with its own once_flag) to
+     * keep TaskGraph movable.
+     */
+    struct Frozen {
+        std::once_flag once;
+        bool done = false;
+        std::vector<PicoSeconds> durations;
+        std::vector<PicoJoules> energies;
+        std::vector<std::uint32_t> resStart; ///< size N+1
+        std::vector<std::uint32_t> resIds;
+        std::vector<std::uint32_t> succStart; ///< size N+1
+        std::vector<std::uint32_t> succIds;
+    };
+
+    /** Build the SoA/CSR hot state (thread-safe, runs once). */
+    const Frozen &freeze() const;
+
     std::vector<Task> tasks_;
-    std::vector<std::vector<TaskId>> successors_;
+    /** Dependency edges as (dep, task), in addDep order. */
+    std::vector<std::pair<TaskId, TaskId>> edges_;
     std::vector<std::uint32_t> depCount_;
+    mutable std::unique_ptr<Frozen> frozen_ =
+        std::make_unique<Frozen>();
 };
 
 } // namespace lergan

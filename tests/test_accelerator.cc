@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/api.hh"
 
 namespace lergan {
@@ -199,6 +201,70 @@ TEST(Accelerator, SmallerBatchRunsFaster)
     big.batchSize = 64;
     EXPECT_LT(simulateTraining(model, small).iterationTime,
               simulateTraining(model, big).iterationTime);
+}
+
+TEST(Accelerator, TemplateReplayMatchesRebuild)
+{
+    const GanModel model = makeBenchmark("MAGAN-MNIST");
+    const AcceleratorConfig config =
+        AcceleratorConfig::lerGan(ReplicaDegree::Low);
+
+    // A template built by one accelerator, replayed by another of the
+    // same (model, config) pair, must reproduce the rebuild path
+    // exactly: simulated time, every stat, the trace and the metrics.
+    LerGanAccelerator maker(model, config);
+    const auto tmpl = maker.makeIterationTemplate();
+
+    LerGanAccelerator rebuilt(model, config);
+    LerGanAccelerator replayed(model, config);
+    Tracer rebuiltTrace, replayedTrace;
+    MetricsRegistry rebuiltMetrics, replayedMetrics;
+    const TrainingReport a = rebuilt.trainIterations(
+        10, &rebuiltTrace, &rebuiltMetrics, nullptr);
+    const TrainingReport b = replayed.trainIterations(
+        10, &replayedTrace, &replayedMetrics, tmpl.get());
+
+    EXPECT_EQ(a.iterationTime, b.iterationTime);
+    EXPECT_DOUBLE_EQ(a.totalEnergyPj(), b.totalEnergyPj());
+
+    std::ostringstream aSummary, bSummary;
+    a.stats.print(aSummary);
+    b.stats.print(bSummary);
+    EXPECT_EQ(aSummary.str(), bSummary.str());
+
+    std::ostringstream aProm, bProm;
+    rebuiltMetrics.snapshot().writePrometheus(aProm);
+    replayedMetrics.snapshot().writePrometheus(bProm);
+    EXPECT_EQ(aProm.str(), bProm.str());
+
+    ASSERT_EQ(rebuiltTrace.events().size(), replayedTrace.events().size());
+    for (std::size_t i = 0; i < rebuiltTrace.events().size(); ++i) {
+        const TraceEvent &x = rebuiltTrace.events()[i];
+        const TraceEvent &y = replayedTrace.events()[i];
+        ASSERT_EQ(x.label, y.label) << "trace event " << i;
+        ASSERT_EQ(x.start, y.start) << "trace event " << i;
+        ASSERT_EQ(x.end, y.end) << "trace event " << i;
+        ASSERT_EQ(x.lane, y.lane) << "trace event " << i;
+    }
+}
+
+TEST(Accelerator, TemplateReplayIsRepeatable)
+{
+    // Replaying the same template many times on one accelerator (the
+    // sweep's steady state, reusing its ExecScratch) never drifts.
+    const GanModel model = makeBenchmark("MAGAN-MNIST");
+    const AcceleratorConfig config =
+        AcceleratorConfig::lerGan(ReplicaDegree::Low);
+    LerGanAccelerator acc(model, config);
+    const auto tmpl = acc.makeIterationTemplate();
+    const TrainingReport first =
+        acc.trainIterations(1, nullptr, nullptr, tmpl.get());
+    for (int i = 0; i < 3; ++i) {
+        const TrainingReport next =
+            acc.trainIterations(1, nullptr, nullptr, tmpl.get());
+        EXPECT_EQ(next.iterationTime, first.iterationTime);
+        EXPECT_DOUBLE_EQ(next.totalEnergyPj(), first.totalEnergyPj());
+    }
 }
 
 TEST(Accelerator, AllBenchmarksRunOnAllConnections)

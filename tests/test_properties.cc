@@ -1,10 +1,13 @@
 /**
  * @file
  * Property-based tests: randomized task graphs against scheduling
- * invariants, and routing invariants across the whole machine.
+ * invariants, the calendar queue against the reference binary heap,
+ * and routing invariants across the whole machine.
  */
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -14,6 +17,8 @@
 #include "core/machine.hh"
 #include "core/sweep_io.hh"
 #include "faults/montecarlo.hh"
+#include "sim/calendar_queue.hh"
+#include "sim/heap_event_queue.hh"
 #include "sim/task_graph.hh"
 #include "workloads/zoo.hh"
 
@@ -116,6 +121,138 @@ TEST_P(RandomDagProperty, SchedulingInvariants)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperty, testing::Range(0, 24));
+
+// ---------------------------------------------------------------------
+// Calendar queue vs the reference binary heap: identical firing order
+// under ~1M randomized schedule / fire / cancel operations.
+// ---------------------------------------------------------------------
+
+/**
+ * Shared randomized scenario. Event ids are the schedule sequence in
+ * both queues, and every follow-up action (how many new events a firing
+ * schedules, at what offsets, and which id it tries to cancel) is a
+ * pure function of (seed, fired id) — so two queues that fire events in
+ * the same order perform exactly the same operations, and any ordering
+ * divergence snowballs into a visible difference in the recorded
+ * sequences.
+ */
+struct QueueScenario {
+    std::uint64_t seed = 0;
+    std::size_t cap = 0;        ///< max events scheduled in total
+    std::size_t scheduled = 0;  ///< ids issued so far
+    std::vector<std::uint64_t> order; ///< fired ids, in firing order
+
+    /**
+     * Follow-up actions of event @p tag firing at time @p now.
+     * @p schedule takes an absolute time and must assign id
+     * `scheduled` (then this helper advances the counter);
+     * @p cancel takes an event id.
+     */
+    template <typename Schedule, typename Cancel>
+    void
+    onFire(std::uint64_t tag, PicoSeconds now, const Schedule &schedule,
+           const Cancel &cancel)
+    {
+        order.push_back(tag);
+        Rng rng(seed ^ (tag * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL));
+        const std::uint64_t follow = rng.nextBounded(3);
+        for (std::uint64_t i = 0; i < follow && scheduled < cap; ++i) {
+            schedule(now + rng.nextBounded(1000));
+            ++scheduled;
+        }
+        if (rng.nextBounded(4) == 0)
+            cancel(rng.nextBounded(scheduled));
+    }
+};
+
+/** Run the scenario on the production calendar queue. */
+std::vector<std::uint64_t>
+calendarScenario(std::uint64_t seed, std::size_t initial, std::size_t cap)
+{
+    sim::CalendarQueue<std::uint64_t> queue;
+    QueueScenario s{seed, cap};
+    Rng rng(seed);
+    for (std::size_t i = 0; i < initial; ++i) {
+        queue.scheduleAt(rng.nextBounded(1'000'000), s.scheduled);
+        ++s.scheduled;
+    }
+    std::uint64_t tag = 0;
+    while (queue.pop(tag)) {
+        s.onFire(
+            tag, queue.now(),
+            [&](PicoSeconds when) { queue.scheduleAt(when, s.scheduled); },
+            [&](std::uint64_t id) { queue.cancel(id); });
+    }
+    EXPECT_EQ(queue.pending(), 0u);
+    return std::move(s.order);
+}
+
+/** Run the scenario on the reference binary heap. */
+std::vector<std::uint64_t>
+heapScenario(std::uint64_t seed, std::size_t initial, std::size_t cap)
+{
+    sim::HeapEventQueue queue;
+    QueueScenario s{seed, cap};
+    std::function<void(std::uint64_t)> fire = [&](std::uint64_t tag) {
+        s.onFire(
+            tag, queue.now(),
+            [&](PicoSeconds when) {
+                const std::uint64_t id = s.scheduled;
+                queue.scheduleAt(when, [&fire, id] { fire(id); });
+            },
+            [&](std::uint64_t id) { queue.cancel(id); });
+    };
+    Rng rng(seed);
+    for (std::size_t i = 0; i < initial; ++i) {
+        const std::uint64_t id = s.scheduled;
+        queue.scheduleAt(rng.nextBounded(1'000'000), [&fire, id] { fire(id); });
+        ++s.scheduled;
+    }
+    queue.run();
+    EXPECT_EQ(queue.pending(), 0u);
+    return std::move(s.order);
+}
+
+TEST(CalendarQueueProperty, MatchesHeapReferenceOverAMillionOps)
+{
+    // Two seeds x (~250k schedules + ~230k fires + ~60k cancels) each:
+    // over a million queue operations in total, with heavy same-time
+    // collisions (200k initial events over a 1M-tick horizon).
+    for (const std::uint64_t seed : {UINT64_C(42), UINT64_C(20180614)}) {
+        const std::size_t initial = 200'000;
+        const std::size_t cap = 250'000;
+        const auto calendar = calendarScenario(seed, initial, cap);
+        const auto heap = heapScenario(seed, initial, cap);
+        ASSERT_EQ(calendar.size(), heap.size()) << "seed " << seed;
+        // EXPECT_EQ on the vectors would print megabytes on failure;
+        // find the first divergence instead.
+        for (std::size_t i = 0; i < calendar.size(); ++i)
+            ASSERT_EQ(calendar[i], heap[i])
+                << "first divergence at firing #" << i << ", seed "
+                << seed;
+    }
+}
+
+TEST(CalendarQueueProperty, AdversarialSameTimeBursts)
+{
+    // All events at one instant fire in schedule order, interleaved
+    // with cancellations — the worst case for a bucketing queue.
+    sim::CalendarQueue<std::uint64_t> queue;
+    std::vector<std::uint64_t> expect;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        queue.scheduleAt(7, i);
+        if (i % 3 != 0)
+            expect.push_back(i);
+    }
+    for (std::uint64_t i = 0; i < 1000; i += 3)
+        EXPECT_TRUE(queue.cancel(i));
+    std::vector<std::uint64_t> fired;
+    std::uint64_t tag = 0;
+    while (queue.pop(tag))
+        fired.push_back(tag);
+    EXPECT_EQ(fired, expect);
+    EXPECT_EQ(queue.now(), 7u);
+}
 
 /** Routing invariants over bank pairs of a full machine. */
 class RouteProperty

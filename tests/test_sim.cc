@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
+#include "sim/event_fn.hh"
 #include "sim/event_queue.hh"
 #include "sim/resource.hh"
 #include "sim/task_graph.hh"
@@ -63,6 +66,87 @@ TEST(EventQueueDeath, PastSchedulingIsABug)
         EXPECT_DEATH(queue.scheduleAt(5, [] {}), "past");
     });
     queue.run();
+}
+
+TEST(EventQueue, CancelledEventNeverFires)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    queue.scheduleAt(10, [&] { order.push_back(1); });
+    const EventId doomed = queue.scheduleAt(20, [&] { order.push_back(2); });
+    queue.scheduleAt(30, [&] { order.push_back(3); });
+    EXPECT_TRUE(queue.cancel(doomed));
+    EXPECT_EQ(queue.pending(), 2u);
+    EXPECT_EQ(queue.run(), 30u);
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelReportsWhetherTheEventWasPending)
+{
+    EventQueue queue;
+    const EventId id = queue.scheduleAt(5, [] {});
+    EXPECT_TRUE(queue.cancel(id));
+    EXPECT_FALSE(queue.cancel(id)); // already cancelled
+    const EventId fired = queue.scheduleAt(6, [] {});
+    queue.run();
+    EXPECT_FALSE(queue.cancel(fired));  // already fired
+    EXPECT_FALSE(queue.cancel(99999)); // never existed
+}
+
+TEST(EventQueue, CancelFromWithinACallback)
+{
+    EventQueue queue;
+    bool fired = false;
+    const EventId victim = queue.scheduleAt(20, [&] { fired = true; });
+    queue.scheduleAt(10, [&] { EXPECT_TRUE(queue.cancel(victim)); });
+    queue.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventFn, SmallCallablesAreStoredInline)
+{
+    int hits = 0;
+    sim::EventFn fn([&hits] { ++hits; });
+    ASSERT_TRUE(fn);
+    EXPECT_TRUE(fn.inlineStored());
+    fn();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(EventFn, LargeCallablesFallBackToTheHeap)
+{
+    std::array<char, 128> blob{};
+    blob[0] = 42;
+    int sum = 0;
+    sim::EventFn fn([blob, &sum] { sum += blob[0]; });
+    EXPECT_FALSE(fn.inlineStored());
+    fn();
+    EXPECT_EQ(sum, 42);
+}
+
+TEST(EventFn, MoveTransfersTheCallable)
+{
+    int hits = 0;
+    sim::EventFn a([&hits] { ++hits; });
+    sim::EventFn b(std::move(a));
+    EXPECT_FALSE(a); // NOLINT(bugprone-use-after-move): contract check
+    ASSERT_TRUE(b);
+    b();
+    EXPECT_EQ(hits, 1);
+
+    sim::EventFn c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventFn, MoveOnlyCallablesAreSupported)
+{
+    auto owned = std::make_unique<int>(7);
+    int seen = 0;
+    sim::EventFn fn([owned = std::move(owned), &seen] { seen = *owned; });
+    fn();
+    EXPECT_EQ(seen, 7);
 }
 
 TEST(Resource, FifoReservations)
@@ -185,6 +269,45 @@ TEST(TaskGraph, ReexecutableAfterPoolReset)
     EXPECT_EQ(graph.execute(pool).makespan, 10u);
     pool.resetAll();
     EXPECT_EQ(graph.execute(pool).makespan, 10u);
+}
+
+TEST(TaskGraph, ScratchReuseMatchesFreshExecution)
+{
+    ResourcePool pool;
+    const auto r0 = pool.create("r0");
+    const auto r1 = pool.create("r1");
+    TaskGraph graph;
+    const TaskId a = graph.addTask({"a", {r0}, 10, 1.0, "energy.a"});
+    const TaskId b = graph.addTask({"b", {r1}, 20, 2.0, "energy.b"});
+    const TaskId c = graph.addTask({"c", {r0, r1}, 5, 0, ""});
+    graph.addDep(c, a);
+    graph.addDep(c, b);
+
+    const ExecResult fresh = graph.execute(pool);
+    ExecScratch scratch;
+    for (int round = 0; round < 3; ++round) {
+        pool.resetAll();
+        const ExecResult reused =
+            graph.execute(pool, nullptr, nullptr, &scratch);
+        EXPECT_EQ(reused.makespan, fresh.makespan);
+        EXPECT_EQ(reused.endTimes, fresh.endTimes);
+    }
+}
+
+TEST(TaskGraph, MovableAcrossBuildAndExecute)
+{
+    // Templates move frozen graphs into shared caches; both a built-but-
+    // unexecuted and an already-executed graph must survive the move.
+    ResourcePool pool;
+    const auto r = pool.create("r");
+    TaskGraph built;
+    built.addTask({"a", {r}, 7, 0, ""});
+    TaskGraph moved = std::move(built);
+    EXPECT_EQ(moved.execute(pool).makespan, 7u);
+
+    pool.resetAll();
+    TaskGraph again = std::move(moved);
+    EXPECT_EQ(again.execute(pool).makespan, 7u);
 }
 
 TEST(TaskGraphDeath, CycleIsDetected)

@@ -42,6 +42,37 @@ TEST(Sweep, RunsTheFullGrid)
     }
 }
 
+TEST(Sweep, TemplateCacheBuildsOncePerPairAndStaysDeterministic)
+{
+    const ExperimentSweep sweep = smallSweep();
+    const auto first = sweep.run();
+    // 2 models x 2 configs: one DAG template per distinct pair.
+    EXPECT_EQ(sweep.templates().misses(), 4u);
+    EXPECT_EQ(sweep.templates().size(), 4u);
+
+    const auto second = sweep.run();
+    EXPECT_EQ(sweep.templates().misses(), 4u); // all replays now
+    EXPECT_EQ(sweep.templates().hits(), 4u);
+
+    std::ostringstream a, b;
+    ExperimentSweep::writeJson(a, first);
+    ExperimentSweep::writeJson(b, second);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Sweep, TemplatedRunsAreWorkerCountInvariant)
+{
+    const ExperimentSweep sweep = smallSweep();
+    RunOptions serial;
+    serial.threads = 1;
+    RunOptions parallel;
+    parallel.threads = 4;
+    std::ostringstream a, b;
+    ExperimentSweep::writeJson(a, sweep.run(serial));
+    ExperimentSweep::writeJson(b, sweep.run(parallel));
+    EXPECT_EQ(a.str(), b.str());
+}
+
 TEST(Sweep, JsonExportContainsEveryPoint)
 {
     const auto results = smallSweep().run();
