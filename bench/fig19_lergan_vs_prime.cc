@@ -17,10 +17,16 @@
  * guards it (--bench-check).
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <sstream>
 
+#include "core/validate.hh"
+#include "critpath/whatif.hh"
 #include "runner.hh"
 #include "sim/trace_tracks.hh"
 
@@ -29,7 +35,8 @@ namespace {
 /**
  * Trace one LerGAN-low DCGAN iteration with derived counter tracks —
  * transfer occupancy and the busiest wire's busy curve next to the task
- * spans — and export it for Perfetto (--trace).
+ * spans — plus the critical chain as its own track, and export it for
+ * Perfetto (--trace).
  */
 void
 exportCounterTrace(const std::string &path)
@@ -38,20 +45,141 @@ exportCounterTrace(const std::string &path)
     const GanModel model = makeBenchmark("DCGAN");
     LerGanAccelerator accelerator(
         model, AcceleratorConfig::lerGan(ReplicaDegree::Low));
+    const auto tmpl = accelerator.makeIterationTemplate();
     Tracer tracer;
-    accelerator.trainIterationTraced(tracer);
-    const std::vector<std::string> names = accelerator.resourceNames();
+    ExecRecord record;
+    accelerator.trainIterations(1, &tracer, nullptr, tmpl.get(),
+                                &record);
+    std::vector<std::string> names = accelerator.resourceNames();
     addSpanOccupancyTrack(tracer, "xfer:", "ic.xfer.active");
     const std::size_t wire = busiestLane(tracer, names, ".wire");
     if (wire != SIZE_MAX)
         addLaneOccupancyTrack(tracer, wire, names[wire] + ".busy");
+    const CriticalPath critical =
+        extractCriticalPath(tmpl->graph, record, names);
+    appendCriticalTrack(tracer, critical, names);
     std::ofstream out(path);
     if (!out)
         LERGAN_FATAL("cannot write trace file '", path, "'");
     tracer.exportChromeTrace(out, names);
-    std::cerr << "trace: " << tracer.events().size() << " spans, "
+    std::cerr << "trace: " << tracer.events().size() << " spans ("
+              << critical.entries.size() << " critical), "
               << tracer.counterSamples().size() << " counter samples -> "
               << path << "\n";
+}
+
+/**
+ * Warm A/B measurement of critical-path recording overhead: replay the
+ * fig19 (model, config) iteration templates through trainIterations
+ * with and without an ExecRecord attached and report the on-cost
+ * percentage. Min-of-five per side, so scheduler noise shrinks the
+ * measured overhead instead of inflating it; compiles and templates
+ * come warm out of the sweep's caches.
+ */
+double
+measureRecordingOverhead(lergan::ExperimentSweep &sweep)
+{
+    using namespace lergan;
+    using clock = std::chrono::steady_clock;
+    struct Probe {
+        std::unique_ptr<LerGanAccelerator> acc;
+        std::shared_ptr<const IterationTemplate> tmpl;
+    };
+    std::vector<Probe> probes;
+    const std::pair<const char *, AcceleratorConfig> grid[] = {
+        {"prime", AcceleratorConfig::prime()},
+        {"low", AcceleratorConfig::lerGan(ReplicaDegree::Low)},
+        {"high", AcceleratorConfig::lerGan(ReplicaDegree::High)},
+    };
+    for (const GanModel &model : allBenchmarks()) {
+        for (const auto &[label, config] : grid) {
+            (void)label;
+            Probe probe;
+            probe.acc = std::make_unique<LerGanAccelerator>(
+                model, config,
+                sweep.cache().get(model, config, compileGanValidated),
+                LerGanAccelerator::Prevalidated{});
+            probe.tmpl = sweep.templates().get(
+                pairFingerprint(model, config),
+                [&] { return probe.acc->makeIterationTemplate(); });
+            probes.push_back(std::move(probe));
+        }
+    }
+    ExecRecord record;
+    const auto runAll = [&](lergan::ExecRecord *rec) {
+        for (Probe &probe : probes) {
+            probe.acc->trainIterations(bench::kIterations, nullptr,
+                                       nullptr, probe.tmpl.get(), rec);
+        }
+    };
+    runAll(nullptr); // warm-up both sides before timing
+    runAll(&record);
+    // Per-pair ratios: host-frequency drift hits the off and on halves
+    // of one back-to-back pair equally, so pairwise ratios are far more
+    // stable than a ratio of independent minima; the median then
+    // rejects outlier pairs in either direction.
+    std::vector<double> overheads;
+    for (int rep = 0; rep < 9; ++rep) {
+        const auto t0 = clock::now();
+        for (int pass = 0; pass < 3; ++pass)
+            runAll(nullptr);
+        const auto t1 = clock::now();
+        for (int pass = 0; pass < 3; ++pass)
+            runAll(&record);
+        const auto t2 = clock::now();
+        const double off_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        const double on_ms =
+            std::chrono::duration<double, std::milli>(t2 - t1).count();
+        if (off_ms > 0.0)
+            overheads.push_back(100.0 * (on_ms - off_ms) / off_ms);
+    }
+    if (overheads.empty())
+        return 0.0;
+    std::sort(overheads.begin(), overheads.end());
+    return overheads[overheads.size() / 2];
+}
+
+/**
+ * Critical-path deep dive (--critpath): record DCGAN under the PRIME
+ * baseline and LerGAN-low, print both chains, then run what-if
+ * estimates against the low recording. Everything goes to stderr so the
+ * goldened table is untouched.
+ */
+void
+critpathReport()
+{
+    using namespace lergan;
+    const GanModel model = makeBenchmark("DCGAN");
+
+    const auto analyze = [&](const char *label,
+                             const AcceleratorConfig &config) {
+        SimulationSession session(config);
+        session.withCriticalPath();
+        const TrainingReport report =
+            session.run(model, bench::kIterations);
+        std::cerr << "critpath: DCGAN/" << label << "\n";
+        report.critpath->path.print(std::cerr);
+        return report.critpath;
+    };
+    analyze("prime", AcceleratorConfig::prime());
+    const auto low =
+        analyze("low", AcceleratorConfig::lerGan(ReplicaDegree::Low));
+
+    const auto demo = [&](const WhatIfTransform &transform) {
+        const WhatIfEstimate est = whatIf(*low, transform);
+        std::cerr << "  what-if " << transform.description << ": "
+                  << psToMs(est.makespan) << " ms  (bounds ["
+                  << psToMs(est.lower) << ", " << psToMs(est.upper)
+                  << "] ms)\n";
+    };
+    std::cerr << "what-if (DCGAN/low, recorded "
+              << psToMs(low->record.makespan) << " ms):\n";
+    demo(identityTransform(*low));
+    demo(scaleResourceCategory(*low, "wire", 2.0));
+    demo(scaleResourceCategory(*low, "compute", 2.0));
+    demo(duplicateResourceCategory(*low, "compute", 2));
+    demo(scalePhase(*low, "transfers", 0.5));
 }
 
 } // namespace
@@ -68,8 +196,21 @@ main(int argc, char **argv)
                   "avg 7.46x; MAGAN-MNIST near 1x; 2.1x at equal space");
     runner.args().addOption(
         "trace",
-        "write a Chrome trace (task spans + counter tracks) of one "
-        "DCGAN/low iteration to this file");
+        "write a Chrome trace (task spans + counter tracks + critical "
+        "chain) of one DCGAN/low iteration to this file");
+    runner.args().addOption(
+        "critpath",
+        "print DCGAN critical paths (prime vs low), what-if estimates "
+        "and a bound-pruned rerun of the grid",
+        "", /*is_flag=*/true);
+    runner.args().addOption(
+        "critpath-baseline",
+        "measure critical-path recording overhead (warm A/B replay of "
+        "the grid templates) and write it to this baseline file");
+    runner.args().addOption(
+        "critpath-check",
+        "overhead guard: fail when measured recording overhead exceeds "
+        "this committed baseline file by more than 5 points");
     runner.parse(argc, argv,
                  "Fig. 19: LerGAN vs PRIME speedup reproduction");
 
@@ -117,6 +258,75 @@ main(int argc, char **argv)
         sweep.withTelemetry(runner.obs().registry());
     }
 
+    if (runner.args().getFlag("critpath")) {
+        critpathReport();
+        // Bound-pruned rerun of the warm grid: the counters show how
+        // many comparison points the analytic bracket decided without
+        // an event simulation.
+        auto registry = std::make_shared<MetricsRegistry>();
+        const auto saved = sweep.telemetry();
+        sweep.withTelemetry(registry).withBoundPruning();
+        RunOptions warm;
+        warm.threads = runner.threads();
+        warm.iterations = kIterations;
+        sweep.run(warm);
+        sweep.withBoundPruning(false).withTelemetry(saved);
+        std::cerr << "prune: "
+                  << registry->counter("critpath.pruned").value()
+                  << " pruned, "
+                  << registry->counter("critpath.simulated").value()
+                  << " simulated of " << sweep.pointCount()
+                  << " points\n";
+    }
+
+    bool critpathGuardFailed = false;
+    if (runner.args().given("critpath-baseline") ||
+        runner.args().given("critpath-check")) {
+        const double overhead = measureRecordingOverhead(sweep);
+        std::cerr << "critpath recording overhead (warm A/B): "
+                  << TextTable::num(overhead) << "% on-cost\n";
+        if (runner.args().given("critpath-baseline")) {
+            const std::string path =
+                runner.args().get("critpath-baseline");
+            std::ofstream out(path);
+            if (!out)
+                LERGAN_FATAL("cannot write critpath baseline '", path,
+                             "'");
+            out << "{\n  \"schema\": \"lergan-critpath-overhead/1\",\n"
+                << "  \"recording_overhead_pct\": "
+                << TextTable::num(overhead) << "\n}\n";
+            std::cerr << "critpath baseline -> " << path << "\n";
+        }
+        if (runner.args().given("critpath-check")) {
+            // The committed number is a same-machine-family reference;
+            // the 5-point allowance absorbs run-to-run and host noise
+            // while still catching a recording-path regression (which
+            // shows up as tens of points).
+            const std::string path = runner.args().get("critpath-check");
+            std::ifstream in(path);
+            if (!in)
+                LERGAN_FATAL("--critpath-check: cannot read baseline '",
+                             path, "'");
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            const std::string key = "\"recording_overhead_pct\": ";
+            const std::size_t at = buffer.str().find(key);
+            if (at == std::string::npos)
+                LERGAN_FATAL("--critpath-check: no recording_overhead_"
+                             "pct in '",
+                             path, "'");
+            const double committed = std::strtod(
+                buffer.str().c_str() + at + key.size(), nullptr);
+            critpathGuardFailed = overhead > committed + 5.0;
+            std::cerr << "critpath guard: measured "
+                      << TextTable::num(overhead)
+                      << "% vs committed baseline "
+                      << TextTable::num(committed) << "% (allowance +5): "
+                      << (critpathGuardFailed ? "REGRESSION" : "ok")
+                      << "\n";
+        }
+    }
+
     if (runner.args().given("trace"))
         exportCounterTrace(runner.args().get("trace"));
 
@@ -150,5 +360,6 @@ main(int argc, char **argv)
                   TextTable::num(m_ns.value()) + "x"});
     table.print(std::cout);
     std::cout << "\npaper: high-degree average 7.46x; equal-space 2.1x\n";
-    return runner.finish();
+    const int rc = runner.finish();
+    return critpathGuardFailed ? 1 : rc;
 }

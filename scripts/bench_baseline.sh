@@ -26,3 +26,11 @@ cmake --build "$root/build" -j "$jobs" --target fig19_lergan_vs_prime
     --bench-repeats 3 >/dev/null
 
 echo "wrote $root/BENCH_fig19.json (commit $commit)"
+
+# Critical-path recording overhead (warm A/B over the grid templates):
+# scripts/check.sh fails when a future change pushes the measured
+# overhead more than 5 points above this committed figure.
+"$root/build/bench/fig19_lergan_vs_prime" \
+    --critpath-baseline "$root/BENCH_fig19_critpath.json" >/dev/null
+
+echo "wrote $root/BENCH_fig19_critpath.json"

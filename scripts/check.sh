@@ -31,6 +31,21 @@ else
     echo "== perf guard skipped (no BENCH_fig19.json baseline) =="
 fi
 
+# Critical-path recording overhead guard: a warm A/B replay of the
+# fig19 grid templates with and without an ExecRecord attached must not
+# exceed the committed overhead ratio by more than 5 points (the ratio
+# is mostly machine-independent; LERGAN_SKIP_PERF_GUARD skips it too).
+if [ "${LERGAN_SKIP_PERF_GUARD:-0}" = "1" ]; then
+    echo "== critpath overhead guard skipped (LERGAN_SKIP_PERF_GUARD=1) =="
+elif [ -f "$root/BENCH_fig19_critpath.json" ]; then
+    echo "== critpath overhead guard: fig19 recording A/B vs committed" \
+         "BENCH_fig19_critpath.json =="
+    "$root/build/bench/fig19_lergan_vs_prime" \
+        --critpath-check "$root/BENCH_fig19_critpath.json" >/dev/null
+else
+    echo "== critpath overhead guard skipped (no baseline) =="
+fi
+
 # The exec tests exercise the worker pool and the compile cache under
 # real concurrency, and the fault tests drive the Monte Carlo driver's
 # seeded trials across the same pool; TSan is the check that the
@@ -45,14 +60,14 @@ int main() { std::thread([] {}).join(); }
 EOF
 if c++ -std=c++20 -fsanitize=thread "$probe_dir/probe.cc" \
         -o "$probe_dir/probe" 2>/dev/null && "$probe_dir/probe"; then
-    echo "== TSan build of the exec + fault + telemetry tests" \
-         "(ctest -L 'tsan|faults|telemetry') =="
+    echo "== TSan build of the exec + fault + telemetry + critpath" \
+         "tests (ctest -L 'tsan|faults|telemetry|critpath') =="
     cmake -B "$root/build-tsan" -S "$root" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread" >/dev/null
     cmake --build "$root/build-tsan" -j "$jobs" \
-        --target test_exec test_faults test_telemetry
-    ctest --test-dir "$root/build-tsan" -L 'tsan|faults|telemetry' \
+        --target test_exec test_faults test_telemetry test_critpath
+    ctest --test-dir "$root/build-tsan" -L 'tsan|faults|telemetry|critpath' \
         --output-on-failure -j "$jobs"
 else
     echo "ThreadSanitizer unavailable on this toolchain; skipping the" \

@@ -666,7 +666,8 @@ LerGanAccelerator::makeIterationTemplate()
 TrainingReport
 LerGanAccelerator::trainIterationImpl(Tracer *tracer,
                                       MetricsRegistry *metrics,
-                                      const IterationTemplate *tmpl)
+                                      const IterationTemplate *tmpl,
+                                      ExecRecord *record)
 {
     // The rebuild path is replay of a just-built template, so both
     // paths produce byte-identical results by construction.
@@ -692,19 +693,28 @@ LerGanAccelerator::trainIterationImpl(Tracer *tracer,
     {
         const auto scope = HostProfiler::global().scope("simulate");
         exec = tmpl->graph.execute(machine_.pool(), tracer, metrics,
-                                   &scratch_);
+                                   &scratch_, record);
     }
     if (metrics) {
         metrics->counter("sim.iterations").add(1);
+        if (record)
+            metrics->counter("critpath.records").add(1);
         recordPoolMetrics(machine_.pool(), *metrics);
     }
+    return assembleReport(*tmpl, exec.makespan, exec.stats);
+}
 
+TrainingReport
+LerGanAccelerator::assembleReport(const IterationTemplate &tmpl,
+                                  PicoSeconds iteration_time,
+                                  const StatSet &exec_stats) const
+{
     TrainingReport report;
     report.benchmark = model_.name;
     report.config = config_.label();
-    report.iterationTime = exec.makespan;
-    report.stats = tmpl->buildEnergy;
-    report.stats.merge(exec.stats);
+    report.iterationTime = iteration_time;
+    report.stats = tmpl.buildEnergy;
+    report.stats.merge(exec_stats);
     // Snapshot of the energy total at the moment the run produced it;
     // the audit layer compares the prefix sum against this to detect
     // post-run mutation of any component (audit/audit.hh).
@@ -751,10 +761,46 @@ LerGanAccelerator::trainIterations(int n, Tracer *tracer,
                                    MetricsRegistry *metrics,
                                    const IterationTemplate *tmpl)
 {
+    return trainIterations(n, tracer, metrics, tmpl, nullptr);
+}
+
+TrainingReport
+LerGanAccelerator::trainIterations(int n, Tracer *tracer,
+                                   MetricsRegistry *metrics,
+                                   const IterationTemplate *tmpl,
+                                   ExecRecord *record)
+{
     LERGAN_ASSERT(n > 0, "need at least one iteration");
     if (tracer)
         tracer->clear();
-    TrainingReport report = trainIterationImpl(tracer, metrics, tmpl);
+    TrainingReport report =
+        trainIterationImpl(tracer, metrics, tmpl, record);
+    report.stats.set("total.iterations", n);
+    report.stats.set("total.time_ms", report.timeMs() * n);
+    report.stats.set("total.energy_mj", pjToMj(report.totalEnergyPj()) * n);
+    return report;
+}
+
+TrainingReport
+LerGanAccelerator::estimateIterations(int n, const IterationTemplate *tmpl,
+                                      PicoSeconds per_iteration)
+{
+    LERGAN_ASSERT(n > 0, "need at least one iteration");
+    std::shared_ptr<const IterationTemplate> own;
+    if (!tmpl) {
+        own = makeIterationTemplate();
+        tmpl = own.get();
+    }
+    // Everything but the makespan is a build-time fact of the template;
+    // only the timing channel carries the analytic estimate. The
+    // executor's sole stat contribution is the task count, reproduced
+    // here so estimated and simulated reports share their stat shape.
+    StatSet exec_stats;
+    exec_stats.set("sim.tasks",
+                   static_cast<double>(tmpl->graph.size()));
+    TrainingReport report =
+        assembleReport(*tmpl, per_iteration, exec_stats);
+    report.stats.set("critpath.estimated", 1.0);
     report.stats.set("total.iterations", n);
     report.stats.set("total.time_ms", report.timeMs() * n);
     report.stats.set("total.energy_mj", pjToMj(report.totalEnergyPj()) * n);

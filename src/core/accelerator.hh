@@ -134,6 +134,29 @@ class LerGanAccelerator
                                    const IterationTemplate *tmpl);
 
     /**
+     * trainIterations() additionally filling @p record with the
+     * execution's dependence record (binding predecessors, reservation
+     * order — sim/exec_record.hh) for critical-path analysis. Recording
+     * never changes results, traces or metrics.
+     */
+    TrainingReport trainIterations(int n, Tracer *tracer,
+                                   MetricsRegistry *metrics,
+                                   const IterationTemplate *tmpl,
+                                   ExecRecord *record);
+
+    /**
+     * The report trainIterations(n, ..., tmpl) would produce, with the
+     * event simulation replaced by the analytic makespan estimate
+     * @p per_iteration (e.g. a makespanBounds() upper bound). All
+     * energies are build-time facts of the template, so they are exact;
+     * only the timing is an estimate. The report carries
+     * "critpath.estimated" = 1 so exports can tell estimated points
+     * from simulated ones. Bound-pruned sweep points use this.
+     */
+    TrainingReport estimateIterations(int n, const IterationTemplate *tmpl,
+                                      PicoSeconds per_iteration);
+
+    /**
      * Compile one training iteration into a replayable template (see
      * IterationTemplate). Pure with respect to simulation results: the
      * machine's mutable state is untouched except the route cache and
@@ -151,7 +174,14 @@ class LerGanAccelerator
     TrainingReport trainIterationImpl(Tracer *tracer,
                                       MetricsRegistry *metrics = nullptr,
                                       const IterationTemplate *tmpl =
-                                          nullptr);
+                                          nullptr,
+                                      ExecRecord *record = nullptr);
+
+    /** Assemble the per-iteration report from a template plus the
+     *  (real or estimated) timing outcome. */
+    TrainingReport assembleReport(const IterationTemplate &tmpl,
+                                  PicoSeconds iteration_time,
+                                  const StatSet &exec_stats) const;
 
     GanModel model_;
     AcceleratorConfig config_;

@@ -1,6 +1,7 @@
 #include "core/api.hh"
 
 #include "core/validate.hh"
+#include "critpath/critpath.hh"
 #include "sim/trace.hh"
 
 namespace lergan {
@@ -40,6 +41,13 @@ SimulationSession::withTelemetry(std::shared_ptr<MetricsRegistry> registry)
     return *this;
 }
 
+SimulationSession &
+SimulationSession::withCriticalPath(bool enabled)
+{
+    critpath_ = enabled;
+    return *this;
+}
+
 TrainingReport
 SimulationSession::runImpl(const GanModel &model, int iterations,
                            const AuditOptions &options,
@@ -52,21 +60,38 @@ SimulationSession::runImpl(const GanModel &model, int iterations,
         cache_->get(model, config_, compileGanValidated);
     MetricsRegistry *metrics = telemetry_.get();
     LerGanAccelerator accelerator(model, config_, std::move(compiled));
-    if (!options.enabled)
+    if (!options.enabled && !critpath_)
         return accelerator.trainIterations(iterations, nullptr, metrics);
 
     Tracer tracer;
-    Tracer *trace = options.timing ? &tracer : nullptr;
-    TrainingReport report =
-        accelerator.trainIterations(iterations, trace, metrics);
-    const AuditContext context(options);
-    AuditVerdict result = context.run({&model, &config_,
-                                       &accelerator.compiled(), &report,
-                                       trace});
-    if (verdict)
-        *verdict = std::move(result);
-    else if (!result.ok())
-        throw AuditError(std::move(result));
+    Tracer *trace =
+        options.enabled && options.timing ? &tracer : nullptr;
+    TrainingReport report;
+    if (critpath_) {
+        // Recording needs the template to outlive the run: the record
+        // is only meaningful against the graph it was taken from, so
+        // the RecordedRun shares ownership of it (aliasing pointer).
+        std::shared_ptr<const IterationTemplate> tmpl =
+            accelerator.makeIterationTemplate();
+        ExecRecord record;
+        report = accelerator.trainIterations(iterations, trace, metrics,
+                                             tmpl.get(), &record);
+        report.critpath = makeRecordedRun(
+            std::shared_ptr<const TaskGraph>(tmpl, &tmpl->graph),
+            accelerator.resourceNames(), std::move(record));
+    } else {
+        report = accelerator.trainIterations(iterations, trace, metrics);
+    }
+    if (options.enabled) {
+        const AuditContext context(options);
+        AuditVerdict result = context.run({&model, &config_,
+                                           &accelerator.compiled(),
+                                           &report, trace});
+        if (verdict)
+            *verdict = std::move(result);
+        else if (!result.ok())
+            throw AuditError(std::move(result));
+    }
     return report;
 }
 

@@ -127,6 +127,20 @@ class SimulationSession
         return telemetry_;
     }
 
+    /**
+     * Record the dependence graph of every subsequent run(): each
+     * report comes back with report.critpath set — the execution
+     * record, the extracted critical path and everything the what-if
+     * estimator (critpath/whatif.hh) needs. Recording never changes
+     * simulation results; it adds bounded bookkeeping per task (a
+     * noticeable fraction of the lean executor's ~80ns/task — the
+     * fig19 critpath guard fails check.sh if the ratio regresses more
+     * than 5 points past the committed baseline). Not thread-safe
+     * against concurrent run() calls; configure before handing the
+     * session out.
+     */
+    SimulationSession &withCriticalPath(bool enabled = true);
+
     const AcceleratorConfig &config() const { return config_; }
 
     /** @name Compile-cache observability (exact counters) */
@@ -149,6 +163,7 @@ class SimulationSession
     std::shared_ptr<CompiledModelCache> cache_;
     AuditOptions audit_;
     std::shared_ptr<MetricsRegistry> telemetry_;
+    bool critpath_ = false;
 };
 
 /**

@@ -4,37 +4,18 @@
 #include <iomanip>
 #include <map>
 
-#include "common/strings.hh"
+#include "critpath/critpath.hh"
 
 namespace lergan {
-
-namespace {
-
-/** Classify one trace label into its phase/family name. */
-std::string
-familyOf(const std::string &label)
-{
-    if (startsWith(label, "xfer:") || startsWith(label, "load:"))
-        return "transfers";
-    if (startsWith(label, "update:") ||
-        label.find(".grad.readout") != std::string::npos ||
-        label.find(".update.cpu") != std::string::npos) {
-        return "updates";
-    }
-    const auto at = label.find('@');
-    if (at != std::string::npos)
-        return label.substr(at + 1);
-    return "other";
-}
-
-} // namespace
 
 std::vector<PhaseTime>
 phaseTimes(const Tracer &tracer)
 {
+    // Labels classify into the same phase families the critical-path
+    // rollups use (taskPhaseOf), so both reports bucket identically.
     std::map<std::string, PhaseTime> families;
     for (const TraceEvent &event : tracer.events()) {
-        PhaseTime &family = families[familyOf(event.label)];
+        PhaseTime &family = families[taskPhaseOf(event.label)];
         if (family.tasks == 0) {
             family.firstStart = event.start;
             family.lastEnd = event.end;

@@ -3,6 +3,7 @@
 #include <iomanip>
 
 #include "common/json.hh"
+#include "critpath/critpath.hh"
 
 namespace lergan {
 
@@ -13,6 +14,8 @@ TrainingReport::print(std::ostream &os, bool verbose) const
        << std::setprecision(3) << timeMs() << " ms/iter, "
        << pjToMj(totalEnergyPj()) << " mJ/iter, " << crossbarsUsed
        << " crossbars\n";
+    if (critpath)
+        critpath->path.print(os);
     if (verbose)
         stats.print(os);
 }
@@ -28,6 +31,26 @@ TrainingReport::writeJson(std::ostream &os) const
     json.key("mj_per_iteration").value(pjToMj(totalEnergyPj()));
     json.key("crossbars").value(crossbarsUsed);
     json.key("compile_ms").value(compileMs);
+    if (critpath) {
+        // Present only when the run recorded — default reports keep
+        // their historical shape byte-for-byte.
+        const CriticalPath &path = critpath->path;
+        json.key("critpath").beginObject();
+        json.key("makespan_ms").value(psToMs(path.makespan));
+        json.key("links").value(
+            static_cast<std::uint64_t>(path.entries.size()));
+        json.key("zero_slack_tasks").value(
+            static_cast<std::uint64_t>(path.zeroSlackTasks()));
+        json.key("by_phase").beginObject();
+        for (const auto &[name, time] : path.phaseRollup)
+            json.key(name).value(psToMs(time));
+        json.endObject();
+        json.key("by_resource").beginObject();
+        for (const auto &[name, time] : path.resourceRollup)
+            json.key(name).value(psToMs(time));
+        json.endObject();
+        json.endObject();
+    }
     json.key("stats").beginObject();
     for (const auto &[name, value] : stats)
         json.key(name).value(value);

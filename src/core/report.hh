@@ -7,6 +7,7 @@
 #define LERGAN_CORE_REPORT_HH
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 
@@ -14,6 +15,8 @@
 #include "common/types.hh"
 
 namespace lergan {
+
+struct RecordedRun; // critpath/critpath.hh
 
 /** Result of simulating training iterations on one configuration. */
 struct TrainingReport {
@@ -30,6 +33,14 @@ struct TrainingReport {
     /** Modeled compile time (ms), with and without ZFDR work. */
     double compileMs = 0.0;
     double compileMsTraditional = 0.0;
+    /**
+     * Dependence record and critical path of the simulated iteration —
+     * null unless the run asked for it (withCriticalPath). Shared so
+     * copies of the report stay cheap; the record is immutable once
+     * attached. print()/writeJson() surface it only when present, so
+     * default reports stay byte-identical.
+     */
+    std::shared_ptr<const RecordedRun> critpath;
 
     /** Total energy of one iteration, picojoules. */
     double

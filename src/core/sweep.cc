@@ -1,9 +1,12 @@
 #include "core/sweep.hh"
 
 #include <chrono>
+#include <unordered_map>
 
 #include "common/logging.hh"
 #include "core/validate.hh"
+#include "critpath/critpath.hh"
+#include "critpath/whatif.hh"
 #include "sim/trace.hh"
 
 namespace lergan {
@@ -52,6 +55,20 @@ ExperimentSweep::withTelemetry(std::shared_ptr<MetricsRegistry> registry)
     return *this;
 }
 
+ExperimentSweep &
+ExperimentSweep::withCriticalPath(bool enabled)
+{
+    critpath_ = enabled;
+    return *this;
+}
+
+ExperimentSweep &
+ExperimentSweep::withBoundPruning(bool enabled)
+{
+    pruning_ = enabled;
+    return *this;
+}
+
 std::size_t
 ExperimentSweep::pointCount() const
 {
@@ -65,12 +82,21 @@ ExperimentSweep::run(const RunOptions &options) const
         const GanModel *model;
         const std::string *label;
         const AcceleratorConfig *config;
+        /** First-config grid point: the pruning reference, always
+         *  simulated fully. */
+        bool baseline = false;
+        /** Non-baseline grid point: bound pruning may skip its event
+         *  simulation. Explicit extra points are never prunable. */
+        bool prunable = false;
     };
     std::vector<Point> points;
     points.reserve(pointCount());
-    for (const GanModel &model : models_)
-        for (const auto &[label, config] : configs_)
-            points.push_back({&model, &label, &config});
+    for (const GanModel &model : models_) {
+        for (std::size_t c = 0; c < configs_.size(); ++c) {
+            points.push_back({&model, &configs_[c].first,
+                              &configs_[c].second, c == 0, c != 0});
+        }
+    }
     for (const ExplicitPoint &extra : extraPoints_)
         points.push_back({&extra.model, &extra.label, &extra.config});
     LERGAN_ASSERT(!points.empty(),
@@ -81,58 +107,144 @@ ExperimentSweep::run(const RunOptions &options) const
 
     MetricsRegistry *metrics = telemetry_.get();
     std::vector<SweepResult> results(points.size());
-    const auto statuses = runPoints(
-        points.size(), static_cast<unsigned>(options.threads),
-        [&](std::size_t i) {
-            const Point &point = points[i];
-            const auto began = options.pointTelemetry
-                                   ? std::chrono::steady_clock::now()
-                                   : std::chrono::steady_clock::time_point{};
-            point.config->checkUsable();
-            // Validated compile: every mapping entering the cache from
-            // the execution engine passes validateMapping, with full
-            // diagnostics on failure (core/validate.hh).
-            SweepResult &result = results[i];
-            bool cache_hit = false;
-            std::shared_ptr<const CompiledGan> compiled =
-                cache_->get(*point.model, *point.config,
-                            compileGanValidated, &cache_hit);
-            // The cache only holds validated mappings, so the point
-            // skips re-validating them per run.
-            LerGanAccelerator accelerator(*point.model, *point.config,
-                                          std::move(compiled),
-                                          LerGanAccelerator::Prevalidated{});
-            // The iteration DAG is a pure function of (model, config):
-            // lower it once per pair, replay it for every point and
-            // every repeated run() of the sweep.
-            std::shared_ptr<const IterationTemplate> tmpl =
-                templates_->get(
-                    pairFingerprint(*point.model, *point.config),
-                    [&] { return accelerator.makeIterationTemplate(); });
-            Tracer tracer;
-            Tracer *trace =
-                audit_.enabled && audit_.timing ? &tracer : nullptr;
-            result.report = accelerator.trainIterations(
-                options.iterations, trace, metrics, tmpl.get());
-            result.crossbarsUsed = accelerator.compiled().crossbarsUsed;
-            result.oversubscribed =
-                accelerator.compiled().oversubscribedCrossbars;
-            if (audit_.enabled) {
-                const AuditContext context(audit_);
-                result.audit = context.run(
-                    {point.model, point.config, &accelerator.compiled(),
-                     &result.report, trace});
+
+    // Per-benchmark baseline makespans the pruning decisions compare
+    // against. Filled on the main thread between the baseline batch and
+    // the rest, so the point bodies only ever read it.
+    std::unordered_map<std::string, PicoSeconds> baselineTime;
+
+    const auto body = [&](std::size_t i) {
+        const Point &point = points[i];
+        const auto began = options.pointTelemetry
+                               ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
+        point.config->checkUsable();
+        // Validated compile: every mapping entering the cache from
+        // the execution engine passes validateMapping, with full
+        // diagnostics on failure (core/validate.hh).
+        SweepResult &result = results[i];
+        bool cache_hit = false;
+        std::shared_ptr<const CompiledGan> compiled =
+            cache_->get(*point.model, *point.config,
+                        compileGanValidated, &cache_hit);
+        // The cache only holds validated mappings, so the point
+        // skips re-validating them per run.
+        LerGanAccelerator accelerator(*point.model, *point.config,
+                                      std::move(compiled),
+                                      LerGanAccelerator::Prevalidated{});
+        // The iteration DAG is a pure function of (model, config):
+        // lower it once per pair, replay it for every point and
+        // every repeated run() of the sweep.
+        std::shared_ptr<const IterationTemplate> tmpl =
+            templates_->get(
+                pairFingerprint(*point.model, *point.config),
+                [&] { return accelerator.makeIterationTemplate(); });
+
+        const auto recordHostTelemetry = [&] {
+            if (!options.pointTelemetry)
+                return;
+            result.telemetry.ran = true;
+            result.telemetry.cacheHit = cache_hit;
+            result.telemetry.hostMs =
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - began)
+                    .count();
+        };
+
+        if (pruning_ && point.prunable) {
+            const auto base = baselineTime.find(point.model->name);
+            if (base != baselineTime.end()) {
+                const MakespanBounds bounds = makespanBounds(
+                    tmpl->graph, accelerator.machine().pool().size());
+                if (bounds.provenFasterThan(base->second) ||
+                    bounds.provenSlowerThan(base->second)) {
+                    // The bracket already decides which side of the
+                    // baseline this point lands on: skip the full event
+                    // simulation and report the executor-mirror
+                    // makespan, which equals what the simulation would
+                    // have produced (energies are build-time facts and
+                    // stay exact). No execution, so no audit or record.
+                    result.report = accelerator.estimateIterations(
+                        options.iterations, tmpl.get(), bounds.upper);
+                    result.crossbarsUsed =
+                        accelerator.compiled().crossbarsUsed;
+                    result.oversubscribed =
+                        accelerator.compiled().oversubscribedCrossbars;
+                    if (metrics)
+                        metrics->counter("critpath.pruned").add(1);
+                    recordHostTelemetry();
+                    return;
+                }
             }
-            if (options.pointTelemetry) {
-                result.telemetry.ran = true;
-                result.telemetry.cacheHit = cache_hit;
-                result.telemetry.hostMs =
-                    std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - began)
-                        .count();
+        }
+
+        Tracer tracer;
+        Tracer *trace =
+            audit_.enabled && audit_.timing ? &tracer : nullptr;
+        ExecRecord record;
+        result.report = accelerator.trainIterations(
+            options.iterations, trace, metrics, tmpl.get(),
+            critpath_ ? &record : nullptr);
+        if (critpath_) {
+            result.report.critpath = makeRecordedRun(
+                std::shared_ptr<const TaskGraph>(tmpl, &tmpl->graph),
+                accelerator.resourceNames(), std::move(record));
+        }
+        if (pruning_ && metrics)
+            metrics->counter("critpath.simulated").add(1);
+        result.crossbarsUsed = accelerator.compiled().crossbarsUsed;
+        result.oversubscribed =
+            accelerator.compiled().oversubscribedCrossbars;
+        if (audit_.enabled) {
+            const AuditContext context(audit_);
+            result.audit = context.run(
+                {point.model, point.config, &accelerator.compiled(),
+                 &result.report, trace});
+        }
+        recordHostTelemetry();
+    };
+
+    std::vector<PointStatus> statuses;
+    if (!pruning_) {
+        statuses = runPoints(points.size(),
+                             static_cast<unsigned>(options.threads),
+                             body, options.onProgress, metrics);
+    } else {
+        // Baselines first (they anchor the pruning decisions), then
+        // everything else; progress counts stay monotonic across the
+        // two batches.
+        statuses.resize(points.size());
+        std::vector<std::size_t> first, rest;
+        for (std::size_t i = 0; i < points.size(); ++i)
+            (points[i].baseline ? first : rest).push_back(i);
+        const auto runBatch = [&](const std::vector<std::size_t> &batch,
+                                  std::size_t done_before) {
+            if (batch.empty())
+                return;
+            ProgressFn progress;
+            if (options.onProgress) {
+                progress = [&, done_before](std::size_t done,
+                                            std::size_t) {
+                    options.onProgress(done_before + done,
+                                       points.size());
+                };
             }
-        },
-        options.onProgress, metrics);
+            const auto batch_statuses = runPoints(
+                batch.size(), static_cast<unsigned>(options.threads),
+                [&](std::size_t k) { body(batch[k]); }, progress,
+                metrics);
+            for (std::size_t k = 0; k < batch.size(); ++k)
+                statuses[batch[k]] = batch_statuses[k];
+        };
+        runBatch(first, 0);
+        for (std::size_t i : first) {
+            if (statuses[i].ok) {
+                baselineTime[points[i].model->name] =
+                    results[i].report.iterationTime;
+            }
+        }
+        runBatch(rest, first.size());
+    }
 
     if (metrics) {
         // Exact totals (deterministic: misses = distinct compiled

@@ -117,6 +117,31 @@ class ExperimentSweep
         return telemetry_;
     }
 
+    /**
+     * Record every point's dependence graph: each successful
+     * SweepResult's report.critpath carries the execution record, the
+     * extracted critical path and the inputs of the what-if estimator
+     * (critpath/whatif.hh). Recording never changes simulated results.
+     */
+    ExperimentSweep &withCriticalPath(bool enabled = true);
+
+    /**
+     * Bound-based pruning of comparison sweeps: the first addConfig'd
+     * configuration is the per-benchmark baseline and always simulates
+     * fully; every other grid point first computes analytic makespan
+     * bounds (critpath/whatif.hh makespanBounds) and skips the event
+     * simulation when the bracket already decides which side of the
+     * baseline it lands on. Pruned points report the bound's
+     * list-schedule estimate as their time (stats carry
+     * "critpath.estimated" = 1; energies stay exact — they are
+     * build-time facts), skip auditing and recording, and count into
+     * the attached telemetry's "critpath.pruned" counter; fully
+     * simulated points count into "critpath.simulated". Explicit
+     * addPoint() points are never pruned. Off by default — the golden
+     * figure grids always simulate every point exactly.
+     */
+    ExperimentSweep &withBoundPruning(bool enabled = true);
+
     /** @name Legacy overloaded builders (forward to the named ones) */
     ///@{
     ExperimentSweep &
@@ -181,6 +206,8 @@ class ExperimentSweep
     std::shared_ptr<MemoCache<IterationTemplate>> templates_;
     AuditOptions audit_;
     std::shared_ptr<MetricsRegistry> telemetry_;
+    bool critpath_ = false;
+    bool pruning_ = false;
 };
 
 } // namespace lergan

@@ -1,6 +1,7 @@
 #include "core/sweep_io.hh"
 
 #include "common/json.hh"
+#include "critpath/critpath.hh"
 #include "telemetry/profiler.hh"
 
 namespace lergan {
@@ -118,6 +119,26 @@ writeSweepJson(std::ostream &os, const std::vector<SweepResult> &results,
             json.key("host_ms").value(result.telemetry.hostMs);
             json.endObject();
         }
+        if (result.report.critpath) {
+            // Only points that recorded carry the object, so default
+            // sweeps export the exact historical shape.
+            const CriticalPath &path = result.report.critpath->path;
+            json.key("critpath").beginObject();
+            json.key("makespan_ms").value(psToMs(path.makespan));
+            json.key("links").value(
+                static_cast<std::uint64_t>(path.entries.size()));
+            json.key("zero_slack_tasks").value(
+                static_cast<std::uint64_t>(path.zeroSlackTasks()));
+            json.key("by_phase").beginObject();
+            for (const auto &[name, time] : path.phaseRollup)
+                json.key(name).value(psToMs(time));
+            json.endObject();
+            json.key("by_resource").beginObject();
+            for (const auto &[name, time] : path.resourceRollup)
+                json.key(name).value(psToMs(time));
+            json.endObject();
+            json.endObject();
+        }
         json.key("stats").beginObject();
         for (const auto &[name, value] : result.report.stats)
             json.key(name).value(value);
@@ -146,9 +167,11 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results,
     // telemetry columns follow the same pattern.
     bool any_faults = false;
     bool any_telemetry = false;
+    bool any_critpath = false;
     for (const SweepResult &result : results) {
         any_faults = any_faults || result.faults.ran();
         any_telemetry = any_telemetry || result.telemetry.ran;
+        any_critpath = any_critpath || result.report.critpath != nullptr;
     }
 
     os << "benchmark,config,ms_per_iteration,mj_per_iteration,"
@@ -160,6 +183,8 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results,
     }
     if (any_telemetry)
         os << ",cache_hit,host_ms";
+    if (any_critpath)
+        os << ",crit_links,crit_zero_slack,crit_top_phase";
     os << '\n';
     for (const SweepResult &result : results) {
         os << csvField(result.benchmark) << ','
@@ -179,6 +204,8 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results,
             }
             if (any_telemetry)
                 os << ",,";
+            if (any_critpath)
+                os << ",,,";
             os << '\n';
             continue;
         }
@@ -208,6 +235,18 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results,
                    << result.telemetry.hostMs;
             } else {
                 os << ",,";
+            }
+        }
+        if (any_critpath) {
+            if (result.report.critpath) {
+                const CriticalPath &path = result.report.critpath->path;
+                os << ',' << path.entries.size() << ','
+                   << path.zeroSlackTasks() << ','
+                   << csvField(path.phaseRollup.empty()
+                                   ? ""
+                                   : path.phaseRollup.front().first);
+            } else {
+                os << ",,,";
             }
         }
         os << '\n';

@@ -1,0 +1,384 @@
+#include "critpath/whatif.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+#include "common/logging.hh"
+#include "sim/utilization.hh"
+
+namespace lergan {
+
+namespace {
+
+/** Compact scale factor for transform descriptions ("2", "0.5"). */
+std::string
+scaleText(double scale)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", scale);
+    return buf;
+}
+
+/** Recorded duration of every task (end - start, == Task::duration). */
+std::vector<PicoSeconds>
+recordedDurations(const RecordedRun &run)
+{
+    const ExecRecord &record = run.record;
+    std::vector<PicoSeconds> durations(record.start.size());
+    for (std::size_t id = 0; id < durations.size(); ++id)
+        durations[id] = record.end[id] - record.start[id];
+    return durations;
+}
+
+/** True when any resource the task holds belongs to @p category. */
+bool
+holdsCategory(const RecordedRun &run, TaskId id,
+              const std::string &category)
+{
+    for (std::size_t rid : run.graph->task(id).resources) {
+        if (rid < run.resourceNames.size() &&
+            category == resourceCategoryOf(run.resourceNames[rid])) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** CSR predecessor (dependency) lists by task. */
+struct PredLists {
+    std::vector<std::size_t> start;
+    std::vector<TaskId> ids;
+};
+
+PredLists
+predecessorLists(const TaskGraph &graph)
+{
+    const std::size_t n = graph.size();
+    PredLists preds;
+    preds.start.assign(n + 1, 0);
+    for (const auto &[dep, task] : graph.edges()) {
+        (void)dep;
+        preds.start[task + 1]++;
+    }
+    for (std::size_t id = 0; id < n; ++id)
+        preds.start[id + 1] += preds.start[id];
+    preds.ids.resize(preds.start[n]);
+    std::vector<std::size_t> fill(preds.start.begin(),
+                                  preds.start.end() - 1);
+    for (const auto &[dep, task] : graph.edges())
+        preds.ids[fill[task]++] = dep;
+    return preds;
+}
+
+/**
+ * The sound lower bound: the longest dependency-only chain (any
+ * schedule respects dependencies) maxed with each resource's total
+ * work divided by its copy count (c copies retire at most c units of
+ * work per unit time). @p order must be a topological order.
+ */
+PicoSeconds
+lowerBound(const TaskGraph &graph,
+           const std::vector<PicoSeconds> &durations,
+           const std::vector<std::uint32_t> &copies,
+           const std::vector<TaskId> &order, std::size_t resource_count)
+{
+    const std::size_t n = graph.size();
+    const PredLists preds = predecessorLists(graph);
+    std::vector<PicoSeconds> chain(n, 0);
+    PicoSeconds longest = 0;
+    for (TaskId id : order) {
+        PicoSeconds ready = 0;
+        for (std::size_t e = preds.start[id]; e < preds.start[id + 1];
+             ++e) {
+            ready = std::max(ready, chain[preds.ids[e]]);
+        }
+        chain[id] = ready + durations[id];
+        longest = std::max(longest, chain[id]);
+    }
+
+    std::vector<PicoSeconds> work(resource_count, 0);
+    for (TaskId id = 0; id < n; ++id)
+        for (std::size_t rid : graph.task(id).resources)
+            work[rid] += durations[id];
+    for (std::size_t rid = 0; rid < resource_count; ++rid) {
+        const std::uint64_t c =
+            rid < copies.size() ? std::max<std::uint32_t>(copies[rid], 1)
+                                : 1;
+        longest = std::max(longest, (work[rid] + c - 1) / c);
+    }
+    return longest;
+}
+
+/**
+ * Lean mirror of TaskGraph::execute: the same fire/completion events
+ * popped in the same (time, insertion-seq) order, minus the pool,
+ * stats, tracing and record machinery — plus transformed durations and
+ * per-resource copy counts (c interchangeable FIFO units; a reservation
+ * takes the earliest-free unit). With every copy count at one the
+ * mirror reproduces the event simulation's schedule decision for
+ * decision, so the makespan it returns IS the resimulated makespan of
+ * the transformed graph. Optionally emits the fire order (a topological
+ * order) for the lower bound's chain pass.
+ */
+PicoSeconds
+simulateList(const TaskGraph &graph,
+             const std::vector<PicoSeconds> &durations,
+             const std::vector<std::uint32_t> &copies,
+             std::size_t resource_count, std::vector<TaskId> *fire_order)
+{
+    const std::size_t n = graph.size();
+    std::vector<std::uint32_t> unmet(n, 0);
+    for (const auto &[dep, task] : graph.edges()) {
+        (void)dep;
+        unmet[task]++;
+    }
+    // CSR successor lists (addDep order preserved, as in the executor).
+    std::vector<std::size_t> succStart(n + 1, 0);
+    for (const auto &[dep, task] : graph.edges()) {
+        (void)task;
+        succStart[dep + 1]++;
+    }
+    for (std::size_t id = 0; id < n; ++id)
+        succStart[id + 1] += succStart[id];
+    std::vector<TaskId> succIds(succStart[n]);
+    std::vector<std::size_t> fill(succStart.begin(),
+                                  succStart.end() - 1);
+    for (const auto &[dep, task] : graph.edges())
+        succIds[fill[dep]++] = task;
+
+    struct Event {
+        PicoSeconds time;
+        std::uint64_t seq;
+        TaskId id;
+        bool complete;
+        bool operator>(const Event &other) const
+        {
+            return time != other.time ? time > other.time
+                                      : seq > other.seq;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        queue;
+    std::uint64_t seq = 0;
+
+    std::vector<PicoSeconds> ready(n, 0);
+    for (TaskId id = 0; id < n; ++id)
+        if (unmet[id] == 0)
+            queue.push({0, seq++, id, false});
+
+    // Per-resource unit free times, flattened CSR-style: copies[rid]
+    // interchangeable FIFO units per resource, one slot each.
+    std::vector<std::size_t> unitStart(resource_count + 1, 0);
+    for (std::size_t rid = 0; rid < resource_count; ++rid) {
+        const std::uint32_t c =
+            rid < copies.size() ? std::max<std::uint32_t>(copies[rid], 1)
+                                : 1;
+        unitStart[rid + 1] = unitStart[rid] + c;
+    }
+    std::vector<PicoSeconds> unitFree(unitStart[resource_count], 0);
+    const auto earliestUnit = [&](std::size_t rid) {
+        std::size_t best = unitStart[rid];
+        for (std::size_t u = best + 1; u < unitStart[rid + 1]; ++u)
+            if (unitFree[u] < unitFree[best])
+                best = u;
+        return best;
+    };
+
+    PicoSeconds makespan = 0;
+    std::size_t completed = 0;
+    while (!queue.empty()) {
+        const Event event = queue.top();
+        queue.pop();
+        const TaskId id = event.id;
+        if (!event.complete) {
+            if (fire_order)
+                fire_order->push_back(id);
+            PicoSeconds start = event.time;
+            for (std::size_t rid : graph.task(id).resources)
+                start = std::max(start, unitFree[earliestUnit(rid)]);
+            const PicoSeconds end = start + durations[id];
+            for (std::size_t rid : graph.task(id).resources)
+                unitFree[earliestUnit(rid)] = end;
+            queue.push({end, seq++, id, true});
+        } else {
+            makespan = std::max(makespan, event.time);
+            ++completed;
+            for (std::size_t e = succStart[id]; e < succStart[id + 1];
+                 ++e) {
+                const TaskId succ = succIds[e];
+                ready[succ] = std::max(ready[succ], event.time);
+                LERGAN_ASSERT(unmet[succ] > 0, "dependency underflow");
+                if (--unmet[succ] == 0)
+                    queue.push({ready[succ], seq++, succ, false});
+            }
+        }
+    }
+    LERGAN_ASSERT(completed == n, "task graph has a cycle: ", completed,
+                  " of ", n, " tasks schedulable");
+    return makespan;
+}
+
+} // namespace
+
+WhatIfTransform
+identityTransform(const RecordedRun &run)
+{
+    (void)run;
+    WhatIfTransform transform;
+    transform.description = "identity";
+    return transform;
+}
+
+WhatIfTransform
+scalePhase(const RecordedRun &run, const std::string &phase,
+           double scale)
+{
+    WhatIfTransform transform;
+    transform.description = "phase " + phase + " x" + scaleText(scale);
+    transform.durations = recordedDurations(run);
+    for (TaskId id = 0; id < transform.durations.size(); ++id) {
+        if (taskPhaseOf(run.graph->task(id).label) == phase) {
+            transform.durations[id] = static_cast<PicoSeconds>(
+                static_cast<double>(transform.durations[id]) * scale +
+                0.5);
+        }
+    }
+    return transform;
+}
+
+WhatIfTransform
+scaleResourceCategory(const RecordedRun &run, const std::string &category,
+                      double throughput_scale)
+{
+    LERGAN_ASSERT(throughput_scale > 0.0,
+                  "throughput scale must be positive");
+    WhatIfTransform transform;
+    transform.description =
+        category + " throughput x" + scaleText(throughput_scale);
+    transform.durations = recordedDurations(run);
+    for (TaskId id = 0; id < transform.durations.size(); ++id) {
+        if (holdsCategory(run, id, category)) {
+            transform.durations[id] = static_cast<PicoSeconds>(
+                static_cast<double>(transform.durations[id]) /
+                    throughput_scale +
+                0.5);
+        }
+    }
+    return transform;
+}
+
+WhatIfTransform
+duplicateResourceCategory(const RecordedRun &run,
+                          const std::string &category,
+                          std::uint32_t copies)
+{
+    LERGAN_ASSERT(copies >= 1, "need at least one copy");
+    WhatIfTransform transform;
+    transform.description = category + " x" + std::to_string(copies) +
+                            " copies";
+    transform.copies.assign(run.resourceNames.size(), 1);
+    for (std::size_t rid = 0; rid < run.resourceNames.size(); ++rid) {
+        if (category == resourceCategoryOf(run.resourceNames[rid]))
+            transform.copies[rid] = copies;
+    }
+    return transform;
+}
+
+WhatIfEstimate
+whatIf(const RecordedRun &run, const WhatIfTransform &transform)
+{
+    WhatIfEstimate estimate;
+    if (run.empty() || run.record.empty())
+        return estimate;
+    const TaskGraph &graph = *run.graph;
+    const ExecRecord &record = run.record;
+    const std::size_t n = graph.size();
+    LERGAN_ASSERT(transform.durations.empty() ||
+                      transform.durations.size() == n,
+                  "transform durations do not match the graph");
+
+    const std::vector<PicoSeconds> durations =
+        transform.durations.empty() ? recordedDurations(run)
+                                    : transform.durations;
+
+    std::size_t resource_count = run.resourceNames.size();
+    for (TaskId id = 0; id < n; ++id)
+        for (std::size_t rid : graph.task(id).resources)
+            resource_count = std::max(resource_count, rid + 1);
+    resource_count = std::max(resource_count, transform.copies.size());
+
+    auto copiesOf = [&](std::size_t rid) -> std::size_t {
+        return rid < transform.copies.size()
+                   ? std::max<std::uint32_t>(transform.copies[rid], 1)
+                   : 1;
+    };
+
+    // Fixed-order replay: walk the recorded completion order (a
+    // topological order of the timing graph) and recompute every end
+    // time against dependencies and the recorded per-resource grant
+    // order. With c copies of a resource, a reservation waits for the
+    // c-th most recent grant instead of the latest one.
+    const PredLists preds = predecessorLists(graph);
+    std::vector<PicoSeconds> end(n, 0);
+    std::vector<std::vector<PicoSeconds>> grants(resource_count);
+    for (TaskId id : record.completionOrder) {
+        PicoSeconds start = 0;
+        for (std::size_t e = preds.start[id]; e < preds.start[id + 1];
+             ++e) {
+            start = std::max(start, end[preds.ids[e]]);
+        }
+        for (std::size_t rid : graph.task(id).resources) {
+            const std::vector<PicoSeconds> &g = grants[rid];
+            const std::size_t c = copiesOf(rid);
+            if (g.size() >= c)
+                start = std::max(start, g[g.size() - c]);
+        }
+        end[id] = start + durations[id];
+        for (std::size_t rid : graph.task(id).resources)
+            grants[rid].push_back(end[id]);
+        estimate.makespan = std::max(estimate.makespan, end[id]);
+    }
+    // The replay above keeps the recorded grant order, which a real
+    // resimulation would not (list-scheduling anomalies cut both ways),
+    // so it is the estimate, not the bound. The upper bound re-runs the
+    // executor's own greedy policy on the transformed graph via the
+    // lean mirror — for unchanged copy counts that IS the resimulated
+    // makespan.
+    estimate.upper = simulateList(graph, durations, transform.copies,
+                                  resource_count, nullptr);
+    estimate.lower = lowerBound(graph, durations, transform.copies,
+                                record.completionOrder, resource_count);
+    return estimate;
+}
+
+MakespanBounds
+makespanBounds(const TaskGraph &graph, std::size_t resource_count)
+{
+    const std::size_t n = graph.size();
+    MakespanBounds bounds;
+    if (n == 0)
+        return bounds;
+    for (TaskId id = 0; id < n; ++id)
+        for (std::size_t rid : graph.task(id).resources)
+            resource_count = std::max(resource_count, rid + 1);
+
+    std::vector<PicoSeconds> durations(n, 0);
+    for (TaskId id = 0; id < n; ++id)
+        durations[id] = graph.task(id).duration;
+
+    // The mirror reproduces the event simulation's schedule exactly, so
+    // the upper bound is the true makespan of this graph; the
+    // dependency/work bound below is the (cheaper, analytic) lower one.
+    // The mirror's fire order is a topological order the lower bound's
+    // chain pass walks.
+    std::vector<TaskId> order;
+    order.reserve(n);
+    bounds.upper =
+        simulateList(graph, durations, {}, resource_count, &order);
+    bounds.lower = lowerBound(graph, durations, {}, order,
+                              resource_count);
+    return bounds;
+}
+
+} // namespace lergan

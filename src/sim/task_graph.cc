@@ -68,7 +68,8 @@ TaskGraph::freeze() const
 
 ExecResult
 TaskGraph::execute(ResourcePool &pool, Tracer *tracer,
-                   MetricsRegistry *metrics, ExecScratch *scratch) const
+                   MetricsRegistry *metrics, ExecScratch *scratch,
+                   ExecRecord *record) const
 {
     const Frozen &f = freeze();
     const std::size_t n = tasks_.size();
@@ -81,6 +82,22 @@ TaskGraph::execute(ResourcePool &pool, Tracer *tracer,
     s.queue.reset();
     s.unmet.assign(depCount_.begin(), depCount_.end());
     s.ready.assign(n, 0);
+    if (record) {
+        s.bindingDep.assign(n, kNoTask);
+        s.lastHolder.assign(pool.size(), kNoTask);
+        // Every slot is written at fire/completion time, so a reused
+        // record only pays for allocation once, not re-zeroing.
+        record->start.resize(n);
+        record->end.resize(n);
+        record->bindingPred.resize(n);
+        record->bindingKind.resize(n);
+        record->bindingRes.resize(n);
+        record->resPrev.resize(f.resStart[n]);
+        record->completionOrder.clear();
+        record->completionOrder.reserve(n);
+        record->lastTask = kNoTask;
+        record->makespan = 0;
+    }
 
     std::size_t completed = 0;
 
@@ -134,8 +151,46 @@ TaskGraph::execute(ResourcePool &pool, Tracer *tracer,
             PicoSeconds start = s.queue.now();
             const std::uint32_t resBegin = f.resStart[id];
             const std::uint32_t resEnd = f.resStart[id + 1];
-            for (std::uint32_t r = resBegin; r < resEnd; ++r)
-                start = std::max(start, pool[f.resIds[r]].nextFree());
+            if (!record) {
+                for (std::uint32_t r = resBegin; r < resEnd; ++r)
+                    start = std::max(start, pool[f.resIds[r]].nextFree());
+            } else {
+                // Binding rule: the fire time (now) is the ready time —
+                // the moment the last dependency released the task. If
+                // some resource was still occupied past that moment,
+                // the task queued and the *most* contended resource's
+                // previous holder is what actually delayed it;
+                // otherwise the last-completing dependency did. Ties
+                // between a dependency and a resource that freed at the
+                // same instant bind to the dependency (a resource binds
+                // only when its free time strictly exceeds ready, i.e.
+                // the fire-time start value).
+                std::uint32_t bind_slot = ExecRecord::kNoResource;
+                for (std::uint32_t r = resBegin; r < resEnd; ++r) {
+                    const std::uint32_t rid = f.resIds[r];
+                    const PicoSeconds free = pool[rid].nextFree();
+                    record->resPrev[r] = s.lastHolder[rid];
+                    s.lastHolder[rid] = id;
+                    if (free > start) {
+                        start = free;
+                        bind_slot = r;
+                    }
+                }
+                record->start[id] = start;
+                if (bind_slot != ExecRecord::kNoResource) {
+                    record->bindingKind[id] = BindingKind::Resource;
+                    record->bindingPred[id] = record->resPrev[bind_slot];
+                    record->bindingRes[id] = f.resIds[bind_slot];
+                } else if (s.bindingDep[id] != kNoTask) {
+                    record->bindingKind[id] = BindingKind::Dependency;
+                    record->bindingPred[id] = s.bindingDep[id];
+                    record->bindingRes[id] = ExecRecord::kNoResource;
+                } else {
+                    record->bindingKind[id] = BindingKind::None;
+                    record->bindingPred[id] = kNoTask;
+                    record->bindingRes[id] = ExecRecord::kNoResource;
+                }
+            }
             for (std::uint32_t r = resBegin; r < resEnd; ++r) {
                 const PicoSeconds got =
                     pool[f.resIds[r]].reserve(start, f.durations[id]);
@@ -160,10 +215,22 @@ TaskGraph::execute(ResourcePool &pool, Tracer *tracer,
             result.endTimes[id] = end;
             result.makespan = std::max(result.makespan, end);
             ++completed;
+            if (record) {
+                record->end[id] = end;
+                record->completionOrder.push_back(id);
+                if (end >= record->makespan) {
+                    record->makespan = end;
+                    record->lastTask = id;
+                }
+            }
             for (std::uint32_t e = f.succStart[id];
                  e < f.succStart[id + 1]; ++e) {
                 const TaskId succ = f.succIds[e];
-                s.ready[succ] = std::max(s.ready[succ], end);
+                if (end >= s.ready[succ]) {
+                    s.ready[succ] = end;
+                    if (record)
+                        s.bindingDep[succ] = id;
+                }
                 LERGAN_ASSERT(s.unmet[succ] > 0, "dependency underflow");
                 if (--s.unmet[succ] == 0) {
                     ++readyCount;

@@ -38,6 +38,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "sim/calendar_queue.hh"
+#include "sim/exec_record.hh"
 #include "sim/resource.hh"
 #include "sim/trace.hh"
 #include "telemetry/metrics.hh"
@@ -99,6 +100,12 @@ class ExecScratch
     sim::CalendarQueue<TaskEvent> queue;
     std::vector<std::uint32_t> unmet;
     std::vector<PicoSeconds> ready;
+    /** @name Recording-only buffers (touched when an ExecRecord is
+     *  attached; empty and untouched otherwise) */
+    ///@{
+    std::vector<TaskId> bindingDep;  ///< dep that set each ready time
+    std::vector<TaskId> lastHolder;  ///< last reserver per resource
+    ///@}
 };
 
 /**
@@ -135,15 +142,34 @@ class TaskGraph
      * instruments are touched, so concurrent executes from a worker
      * pool produce worker-count-independent totals.
      *
+     * When @p record is given, the run additionally writes the
+     * dependence record critical-path analysis consumes (per-task
+     * start/finish, binding predecessors, per-resource reservation
+     * order — see sim/exec_record.hh). Recording is pure output: event
+     * order, results, traces and metrics are identical with it on.
+     *
      * @param pool    resource pool the task resource ids index into.
      * @param tracer  optional recorder of per-task execution intervals.
      * @param metrics optional registry for sim.* metrics.
      * @param scratch optional reusable buffers (see ExecScratch).
+     * @param record  optional execution record for critpath analysis.
      * @return makespan, accumulated energy statistics and task end times.
      */
     ExecResult execute(ResourcePool &pool, Tracer *tracer = nullptr,
                        MetricsRegistry *metrics = nullptr,
-                       ExecScratch *scratch = nullptr) const;
+                       ExecScratch *scratch = nullptr,
+                       ExecRecord *record = nullptr) const;
+
+    /**
+     * Dependency edges as (dep, task) pairs in addDep order — the cold
+     * mirror of the frozen CSR lists, exposed for post-run analysis
+     * (critical-path slack needs the full edge set, not just each
+     * task's binding predecessor).
+     */
+    const std::vector<std::pair<TaskId, TaskId>> &edges() const
+    {
+        return edges_;
+    }
 
   private:
     /**

@@ -55,11 +55,8 @@ utilizationOf(const ResourcePool &pool, PicoSeconds makespan,
     return matches == 0 ? 0.0 : total / static_cast<double>(matches);
 }
 
-namespace {
-
-/** Coarse resource category from its diagnostic name. */
 const char *
-resourceCategory(const std::string &name)
+resourceCategoryOf(const std::string &name)
 {
     if (name.find(".compute") != std::string::npos)
         return "compute";
@@ -73,8 +70,6 @@ resourceCategory(const std::string &name)
         return "cpu";
     return "other";
 }
-
-} // namespace
 
 void
 recordPoolMetrics(const ResourcePool &pool, MetricsRegistry &registry)
@@ -93,7 +88,7 @@ recordPoolMetrics(const ResourcePool &pool, MetricsRegistry &registry)
         const Resource &res = pool[i];
         if (res.reservations() == 0)
             continue;
-        CategoryTotals &t = totals[resourceCategory(res.name())];
+        CategoryTotals &t = totals[resourceCategoryOf(res.name())];
         t.busy += static_cast<std::uint64_t>(res.busyTime());
         t.wait += static_cast<std::uint64_t>(res.waitTime());
         t.reservations += res.reservations();

@@ -51,6 +51,15 @@ void printUtilization(std::ostream &os, const ResourcePool &pool,
                       PicoSeconds makespan, std::size_t top_k);
 
 /**
+ * Coarse category of a resource, derived from its diagnostic name:
+ * "compute", "wire", "switch", "bus", "cpu" or "other". The same
+ * buckets recordPoolMetrics rolls contention up under; the
+ * critical-path engine reuses them for its per-resource rollups and
+ * what-if category transforms.
+ */
+const char *resourceCategoryOf(const std::string &name);
+
+/**
  * Fold every resource's busy/wait/reservation totals into @p registry
  * as sim.resource.{busy_ps,wait_ps,reservations}.<category> counters,
  * where the category is derived from the resource name (compute, wire,

@@ -8,16 +8,20 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "core/api.hh"
 #include "core/sweep.hh"
 #include "core/sweep_io.hh"
 #include "exec/engine.hh"
+#include "exec/memo_cache.hh"
 #include "exec/thread_pool.hh"
 #include "workloads/zoo.hh"
 
@@ -137,6 +141,132 @@ TEST(Engine, ProgressIsSerializedMonotonicAndComplete)
     for (std::size_t i = 0; i < seen.size(); ++i)
         EXPECT_EQ(seen[i], i + 1);
     EXPECT_EQ(statuses.size(), kPoints);
+}
+
+TEST(MemoCache, CollidingKeysAliasToTheFirstBuiltValue)
+{
+    MemoCache<int> cache;
+    int builds = 0;
+    const auto first = cache.get("fingerprint", [&] {
+        ++builds;
+        return std::make_shared<const int>(1);
+    });
+    bool hit = false;
+    const auto second = cache.get(
+        "fingerprint",
+        [&] {
+            ++builds;
+            return std::make_shared<const int>(2);
+        },
+        &hit);
+    // The cache trusts its key: two distinct artifacts whose
+    // fingerprints collide silently alias to whichever built first.
+    // That is why configFingerprint/modelFingerprint must encode every
+    // result-relevant field (FingerprintsSeparateConfigsAndModels
+    // below guards the encoding).
+    EXPECT_EQ(builds, 1);
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(*second, 1);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MemoCache, ConcurrentInsertsOfTheSameKeyBuildExactlyOnce)
+{
+    MemoCache<int> cache;
+    constexpr int kThreads = 8;
+    std::atomic<int> builds{0};
+    std::atomic<int> hitCount{0};
+    std::vector<std::shared_ptr<const int>> seen(kThreads);
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                bool hit = false;
+                seen[t] = cache.get(
+                    "key",
+                    [&] {
+                        builds.fetch_add(1);
+                        // Hold the build long enough that the other
+                        // threads arrive while it is in flight and
+                        // block on the shared future.
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(2));
+                        return std::make_shared<const int>(7);
+                    },
+                    &hit);
+                if (hit)
+                    hitCount.fetch_add(1);
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+    EXPECT_EQ(builds.load(), 1);
+    EXPECT_EQ(hitCount.load(), kThreads - 1);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), static_cast<std::uint64_t>(kThreads - 1));
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_NE(seen[t], nullptr) << "thread " << t;
+        EXPECT_EQ(seen[t].get(), seen[0].get());
+    }
+}
+
+TEST(MemoCache, FailedBuildDropsTheEntrySoRetriesRebuild)
+{
+    MemoCache<int> cache;
+    EXPECT_THROW(cache.get("key",
+                           []() -> std::shared_ptr<const int> {
+                               throw std::runtime_error("build failed");
+                           }),
+                 std::runtime_error);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    const auto value =
+        cache.get("key", [] { return std::make_shared<const int>(3); });
+    EXPECT_EQ(*value, 3);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MemoCache, GrowthIsEvictionFreeWithExactAccounting)
+{
+    MemoCache<std::size_t> cache;
+    constexpr std::size_t kKeys = 64;
+    std::vector<std::shared_ptr<const std::size_t>> first(kKeys);
+    for (std::size_t k = 0; k < kKeys; ++k) {
+        first[k] = cache.get("key" + std::to_string(k), [k] {
+            return std::make_shared<const std::size_t>(k);
+        });
+        // Grows by exactly one entry per distinct key, never more.
+        EXPECT_EQ(cache.size(), k + 1);
+    }
+    EXPECT_EQ(cache.misses(), kKeys);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    // Nothing is ever evicted: every re-get is a hit on the original
+    // shared value, and the builder is never consulted again.
+    for (std::size_t k = 0; k < kKeys; ++k) {
+        const auto again = cache.get(
+            "key" + std::to_string(k),
+            []() -> std::shared_ptr<const std::size_t> {
+                ADD_FAILURE() << "rebuilt a cached key";
+                return nullptr;
+            });
+        EXPECT_EQ(again.get(), first[k].get());
+    }
+    EXPECT_EQ(cache.size(), kKeys);
+    EXPECT_EQ(cache.hits(), kKeys);
+    EXPECT_EQ(cache.misses(), kKeys);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.misses(), 0u);
+    // Values handed out before clear() stay alive: ownership is
+    // shared, not borrowed from the cache.
+    EXPECT_EQ(*first[5], 5u);
 }
 
 TEST(ModelCache, CompilesOnceWithExactCounters)

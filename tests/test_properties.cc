@@ -139,6 +139,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagProperty, testing::Range(0, 24));
 struct QueueScenario {
     std::uint64_t seed = 0;
     std::size_t cap = 0;        ///< max events scheduled in total
+    /** Draw follow-up offsets from {0, 1} with occasional long jumps
+     *  instead of uniform [0, 1000): keeps the calendar's windows
+     *  narrow so reschedules land on or just past the near/far edge
+     *  constantly — the regime the executor's completion loop creates
+     *  with clustered task end times. */
+    bool boundaryHeavy = false;
     std::size_t scheduled = 0;  ///< ids issued so far
     std::vector<std::uint64_t> order; ///< fired ids, in firing order
 
@@ -157,7 +163,13 @@ struct QueueScenario {
         Rng rng(seed ^ (tag * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL));
         const std::uint64_t follow = rng.nextBounded(3);
         for (std::uint64_t i = 0; i < follow && scheduled < cap; ++i) {
-            schedule(now + rng.nextBounded(1000));
+            const PicoSeconds offset =
+                boundaryHeavy
+                    ? (rng.nextBounded(8) == 0
+                           ? 500 + rng.nextBounded(500)
+                           : rng.nextBounded(2))
+                    : rng.nextBounded(1000);
+            schedule(now + offset);
             ++scheduled;
         }
         if (rng.nextBounded(4) == 0)
@@ -167,13 +179,14 @@ struct QueueScenario {
 
 /** Run the scenario on the production calendar queue. */
 std::vector<std::uint64_t>
-calendarScenario(std::uint64_t seed, std::size_t initial, std::size_t cap)
+calendarScenario(std::uint64_t seed, std::size_t initial, std::size_t cap,
+                 PicoSeconds horizon = 1'000'000, bool boundary = false)
 {
     sim::CalendarQueue<std::uint64_t> queue;
-    QueueScenario s{seed, cap};
+    QueueScenario s{seed, cap, boundary, 0, {}};
     Rng rng(seed);
     for (std::size_t i = 0; i < initial; ++i) {
-        queue.scheduleAt(rng.nextBounded(1'000'000), s.scheduled);
+        queue.scheduleAt(rng.nextBounded(horizon), s.scheduled);
         ++s.scheduled;
     }
     std::uint64_t tag = 0;
@@ -189,10 +202,11 @@ calendarScenario(std::uint64_t seed, std::size_t initial, std::size_t cap)
 
 /** Run the scenario on the reference binary heap. */
 std::vector<std::uint64_t>
-heapScenario(std::uint64_t seed, std::size_t initial, std::size_t cap)
+heapScenario(std::uint64_t seed, std::size_t initial, std::size_t cap,
+             PicoSeconds horizon = 1'000'000, bool boundary = false)
 {
     sim::HeapEventQueue queue;
-    QueueScenario s{seed, cap};
+    QueueScenario s{seed, cap, boundary, 0, {}};
     std::function<void(std::uint64_t)> fire = [&](std::uint64_t tag) {
         s.onFire(
             tag, queue.now(),
@@ -205,7 +219,7 @@ heapScenario(std::uint64_t seed, std::size_t initial, std::size_t cap)
     Rng rng(seed);
     for (std::size_t i = 0; i < initial; ++i) {
         const std::uint64_t id = s.scheduled;
-        queue.scheduleAt(rng.nextBounded(1'000'000), [&fire, id] { fire(id); });
+        queue.scheduleAt(rng.nextBounded(horizon), [&fire, id] { fire(id); });
         ++s.scheduled;
     }
     queue.run();
@@ -252,6 +266,103 @@ TEST(CalendarQueueProperty, AdversarialSameTimeBursts)
         fired.push_back(tag);
     EXPECT_EQ(fired, expect);
     EXPECT_EQ(queue.now(), 7u);
+}
+
+TEST(CalendarQueueBoundary, CancelOnTheNearFarWindowEdge)
+{
+    // 64 events at times 0..63 scheduled up front: the first pop carves
+    // a window of width 32 (64 events / kTargetPerWindow), putting
+    // times 0..31 into the sorted near run and leaving 32..63 in far.
+    // Cancel the last event inside the window (31) and the first one
+    // exactly on its edge (32): both must be skipped at pop time, and
+    // the firing order of everything else is unchanged.
+    sim::CalendarQueue<std::uint64_t> queue;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        queue.scheduleAt(i, i);
+
+    std::uint64_t tag = 0;
+    ASSERT_TRUE(queue.pop(tag)); // forces the window carve
+    EXPECT_EQ(tag, 0u);
+
+    EXPECT_TRUE(queue.cancel(31));
+    EXPECT_TRUE(queue.cancel(32));
+    EXPECT_FALSE(queue.cancel(31)); // already cancelled
+    EXPECT_FALSE(queue.cancel(0));  // already fired
+    EXPECT_FALSE(queue.cancel(999)); // never scheduled
+    EXPECT_EQ(queue.pending(), 61u);
+
+    std::vector<std::uint64_t> fired;
+    while (queue.pop(tag))
+        fired.push_back(tag);
+    std::vector<std::uint64_t> expect;
+    for (std::uint64_t i = 1; i < 64; ++i)
+        if (i != 31 && i != 32)
+            expect.push_back(i);
+    EXPECT_EQ(fired, expect);
+    EXPECT_EQ(queue.now(), 63u);
+    EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(CalendarQueueBoundary, RescheduleIntoTheCurrentWindowDuringFire)
+{
+    // Executor-style loop: while the event at time 10 is being handled,
+    // schedule three follow-ups — one at the current instant (must fire
+    // after every other live event at that time, i.e. immediately here),
+    // one on the last slot of the current window (31), and one exactly
+    // at the window end (32, the far-side path). Equal-time events fire
+    // in schedule order, so the follow-ups (ids 64..66) fire after the
+    // originals at their times.
+    sim::CalendarQueue<std::uint64_t> queue;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        queue.scheduleAt(i, i);
+
+    std::vector<std::uint64_t> fired;
+    std::uint64_t next = 64;
+    std::uint64_t tag = 0;
+    while (queue.pop(tag)) {
+        fired.push_back(tag);
+        if (tag == 10) {
+            EXPECT_EQ(queue.scheduleAt(queue.now(), next), 64u);
+            ++next;
+            queue.scheduleAt(31, next);
+            ++next;
+            queue.scheduleAt(32, next);
+            ++next;
+        }
+    }
+    std::vector<std::uint64_t> expect;
+    for (std::uint64_t i = 0; i <= 10; ++i)
+        expect.push_back(i);
+    expect.push_back(64); // same instant as 10, scheduled later
+    for (std::uint64_t i = 11; i <= 31; ++i)
+        expect.push_back(i);
+    expect.push_back(65); // time 31, after the original
+    expect.push_back(32);
+    expect.push_back(66); // time 32, after the original
+    for (std::uint64_t i = 33; i < 64; ++i)
+        expect.push_back(i);
+    EXPECT_EQ(fired, expect);
+    EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST(CalendarQueueProperty, BoundaryHeavySeededScenarioMatchesHeap)
+{
+    // Same heap-equivalence harness as above, but with follow-up times
+    // drawn from {now, now + 1} plus occasional long jumps over a short
+    // horizon: windows stay narrow, so fire-time reschedules land on or
+    // just past the near/far edge all the time instead of rarely.
+    for (const std::uint64_t seed : {UINT64_C(3), UINT64_C(777)}) {
+        const std::size_t initial = 30'000;
+        const std::size_t cap = 40'000;
+        const auto calendar =
+            calendarScenario(seed, initial, cap, 600, true);
+        const auto heap = heapScenario(seed, initial, cap, 600, true);
+        ASSERT_EQ(calendar.size(), heap.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < calendar.size(); ++i)
+            ASSERT_EQ(calendar[i], heap[i])
+                << "first divergence at firing #" << i << ", seed "
+                << seed;
+    }
 }
 
 /** Routing invariants over bank pairs of a full machine. */
