@@ -56,6 +56,7 @@ num(double value)
 std::string
 formatEntry(const std::string &label, const std::string &commit,
             std::size_t grid_points, int iterations,
+            unsigned hardware_threads,
             const std::vector<BenchMeasurement> &measurements)
 {
     std::ostringstream os;
@@ -64,6 +65,7 @@ formatEntry(const std::string &label, const std::string &commit,
     os << "      \"commit\": \"" << JsonWriter::escape(commit) << "\",\n";
     os << "      \"grid_points\": " << grid_points << ",\n";
     os << "      \"iterations\": " << iterations << ",\n";
+    os << "      \"hardware_threads\": " << hardware_threads << ",\n";
     os << "      \"measurements\": [\n";
     for (std::size_t i = 0; i < measurements.size(); ++i) {
         const BenchMeasurement &m = measurements[i];
@@ -73,6 +75,10 @@ formatEntry(const std::string &label, const std::string &commit,
         os << "          \"wall_ms\": " << num(m.wallMs) << ",\n";
         os << "          \"points_per_sec\": " << num(m.pointsPerSec)
            << ",\n";
+        if (m.scalingEfficiency >= 0.0) {
+            os << "          \"scaling_efficiency\": "
+               << num(m.scalingEfficiency) << ",\n";
+        }
         os << "          \"p50_host_ms_per_point\": "
            << num(m.p50HostMsPerPoint) << ",\n";
         os << "          \"p95_host_ms_per_point\": "
@@ -99,11 +105,13 @@ void
 writeBenchJson(const std::string &path, const std::string &bench,
                const std::string &label, const std::string &commit,
                std::size_t grid_points, int iterations,
+               unsigned hardware_threads,
                const std::vector<BenchMeasurement> &measurements,
                bool append)
 {
-    const std::string entry =
-        formatEntry(label, commit, grid_points, iterations, measurements);
+    const std::string entry = formatEntry(
+        label, commit, grid_points, iterations, hardware_threads,
+        measurements);
 
     std::string content;
     if (append) {
@@ -113,6 +121,14 @@ writeBenchJson(const std::string &path, const std::string &bench,
         std::ostringstream buffer;
         buffer << in.rdbuf();
         content = buffer.str();
+        // Appending to a schema/1 file upgrades the header in place:
+        // /2 only adds fields, so the old entries stay valid (they
+        // simply lack hardware_threads / scaling_efficiency).
+        const std::string oldSchema = "\"schema\": \"lergan-bench/1\"";
+        const std::size_t schemaAt = content.find(oldSchema);
+        if (schemaAt != std::string::npos)
+            content.replace(schemaAt, oldSchema.size(),
+                            "\"schema\": \"lergan-bench/2\"");
         // The writer's own tail is the splice anchor; anything else
         // means the file was not produced (or was edited) by us.
         const std::string tail = "\n  ]\n}";
@@ -125,7 +141,7 @@ writeBenchJson(const std::string &path, const std::string &bench,
     } else {
         std::ostringstream os;
         os << "{\n";
-        os << "  \"schema\": \"lergan-bench/1\",\n";
+        os << "  \"schema\": \"lergan-bench/2\",\n";
         os << "  \"bench\": \"" << JsonWriter::escape(bench) << "\",\n";
         os << "  \"entries\": [\n";
         os << entry << "\n";
@@ -159,6 +175,25 @@ lastOneWorkerPointsPerSec(const std::string &bench_json_text)
                        nullptr);
 }
 
+double
+lastScalingEfficiency(const std::string &bench_json_text, int workers)
+{
+    const std::string anchor =
+        "\"workers\": " + std::to_string(workers) + ",";
+    const std::size_t at = bench_json_text.rfind(anchor);
+    if (at == std::string::npos)
+        return -1.0;
+    const std::string key = "\"scaling_efficiency\": ";
+    const std::size_t keyAt = bench_json_text.find(key, at);
+    // The field is optional (schema/1 entries lack it), so the search
+    // must not run past this measurement object into the next one.
+    const std::size_t objEnd = bench_json_text.find('}', at);
+    if (keyAt == std::string::npos || keyAt > objEnd)
+        return -1.0;
+    return std::strtod(bench_json_text.c_str() + keyAt + key.size(),
+                       nullptr);
+}
+
 Runner::Runner(std::string bench_name, std::string title,
                std::string paper_claim)
     : benchName_(std::move(bench_name)), title_(std::move(title)),
@@ -186,12 +221,13 @@ Runner::parse(int argc, char **argv, const std::string &program_doc)
     args_.addOption("bench-workers",
                     "comma-separated worker counts to measure (0 = "
                     "hardware threads)",
-                    "1,4,0");
+                    "1,2,4,8");
     args_.addOption("bench-repeats",
                     "timed repetitions per measured worker count", "3");
     args_.addOption("bench-check",
                     "perf-regression guard: fail when measured 1-worker "
-                    "points/sec drops >20% below this committed "
+                    "points/sec (or any measured multi-worker scaling "
+                    "efficiency) drops >20% below this committed "
                     "BENCH_*.json baseline");
     Observability::addOptions(args_);
     args_.parse(argc, argv, program_doc);
@@ -358,6 +394,53 @@ Runner::measureBody(std::size_t points, const std::function<void()> &body)
 }
 
 void
+Runner::computeScalingEfficiencies()
+{
+    const BenchMeasurement *one = nullptr;
+    for (const BenchMeasurement &m : measurements_)
+        if (m.workers == 1) {
+            one = &m;
+            break;
+        }
+    if (!one || one->pointsPerSec <= 0.0)
+        return; // no 1-worker reference in this run
+    // Normalize by the cores actually available: W workers on an
+    // H-core machine can at best run min(W, H) points concurrently, so
+    // ideal is 1.0 on every machine and oversubscribed counts are not
+    // penalized for the cores they do not have.
+    const double hw = static_cast<double>(defaultThreadCount());
+    for (BenchMeasurement &m : measurements_) {
+        const double ideal =
+            one->pointsPerSec *
+            std::min(static_cast<double>(m.workers), hw);
+        m.scalingEfficiency = m.pointsPerSec / ideal;
+    }
+}
+
+void
+Runner::applyScalingGuard(const std::string &baseline_text)
+{
+    for (const BenchMeasurement &m : measurements_) {
+        if (m.workers == 1 || m.scalingEfficiency < 0.0)
+            continue;
+        const double committed =
+            lastScalingEfficiency(baseline_text, m.workers);
+        if (committed <= 0.0)
+            continue; // baseline predates the scaling schema
+        const double floor = committed * 0.8;
+        const bool ok = m.scalingEfficiency >= floor;
+        std::cerr << "perf guard: " << m.workers
+                  << "-worker scaling efficiency "
+                  << num(m.scalingEfficiency)
+                  << " vs committed baseline " << num(committed)
+                  << " (floor " << num(floor) << "): "
+                  << (ok ? "ok" : "REGRESSION") << "\n";
+        if (!ok)
+            guardFailed_ = true;
+    }
+}
+
+void
 Runner::applyGuard(const BenchMeasurement &measured)
 {
     guardRan_ = true;
@@ -385,6 +468,8 @@ Runner::applyGuard(const BenchMeasurement &measured)
 int
 Runner::finish()
 {
+    computeScalingEfficiencies();
+
     if (args_.given("bench-check") && !measurements_.empty()) {
         // Guard against the 1-worker measurement when present (it is
         // the least scheduler-noisy one), else the first.
@@ -395,6 +480,14 @@ Runner::finish()
                 break;
             }
         applyGuard(oneWorker ? *oneWorker : measurements_.front());
+        // Second half of the guard: every measured multi-worker count
+        // must hold its committed scaling efficiency.
+        std::ifstream in(args_.get("bench-check"));
+        if (in) {
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            applyScalingGuard(buffer.str());
+        }
     }
 
     if (args_.given("bench-json")) {
@@ -405,8 +498,8 @@ Runner::finish()
                        args_.get("bench-label"),
                        args_.get("bench-commit"),
                        measurements_.front().points,
-                       measuredIterations_, measurements_,
-                       args_.getFlag("bench-append"));
+                       measuredIterations_, defaultThreadCount(),
+                       measurements_, args_.getFlag("bench-append"));
     }
 
     obs().finish();

@@ -31,29 +31,43 @@
  * to) a BENCH_*.json performance-trajectory file:
  *
  *   {
- *     "schema": "lergan-bench/1",
+ *     "schema": "lergan-bench/2",
  *     "bench": "fig19",
  *     "entries": [
- *       { "label": "before", "commit": "<sha>", "grid_points": 48,
- *         "iterations": 10,
+ *       { "label": "scaling", "commit": "<sha>", "grid_points": 48,
+ *         "iterations": 10, "hardware_threads": 8,
  *         "measurements": [
  *           { "workers": 1, "repetitions": 3, "wall_ms": ...,
- *             "points_per_sec": ..., "p50_host_ms_per_point": ...,
+ *             "points_per_sec": ..., "scaling_efficiency": ...,
+ *             "p50_host_ms_per_point": ...,
  *             "p95_host_ms_per_point": ...,
  *             "host_phases_ms": { "schedule": ..., "simulate": ... } },
  *           ... ] },
  *       ... ]
  *   }
  *
- * Host wall-clock numbers are facts about the machine that ran the
- * bench; they are never part of golden comparisons. The committed
- * BENCH_*.json files track the simulator's speed trajectory on the
- * reference container (scripts/bench_baseline.sh regenerates them).
+ * Schema lergan-bench/2 added "hardware_threads" (the measuring
+ * machine's defaultThreadCount()) per entry and "scaling_efficiency"
+ * per measurement. Efficiency is points/sec at W workers divided by
+ * (1-worker points/sec × min(W, hardware_threads)) — 1.0 means the
+ * curve is ideal for the cores actually available, so the number stays
+ * meaningful on machines with fewer cores than workers (oversubscribed
+ * worker counts are expected to hold ~1.0, not W×). Appending to a
+ * schema/1 file upgrades the schema line in place; old entries are
+ * preserved and simply lack the new fields. Host wall-clock numbers
+ * are facts about the machine that ran the bench; they are never part
+ * of golden comparisons. The committed BENCH_*.json files track the
+ * simulator's speed trajectory on the reference container
+ * (scripts/bench_baseline.sh regenerates them).
  *
  * --bench-check FILE is the perf-regression guard: it re-measures the
- * bench at 1 worker and fails the process (exit 1) when the measured
+ * bench and fails the process (exit 1) when (a) the measured 1-worker
  * points/sec drops more than 20% below the last committed entry's
- * 1-worker baseline. scripts/check.sh runs it (skippable via
+ * 1-worker baseline, or (b) any measured multi-worker scaling
+ * efficiency drops more than 20% below the efficiency the last
+ * committed entry records for that worker count (contention
+ * regressions show up here even when 1-worker throughput is intact).
+ * scripts/check.sh runs it at 1 and 4 workers (skippable via
  * LERGAN_SKIP_PERF_GUARD=1 for slow or noisy machines).
  */
 
@@ -79,6 +93,13 @@ struct BenchMeasurement {
     std::size_t points = 0;            ///< grid points per repetition
     double wallMs = 0.0;               ///< total wall time of the reps
     double pointsPerSec = 0.0;
+    /**
+     * points/sec ÷ (1-worker points/sec × min(workers, hardware
+     * threads)); 1.0 = ideal scaling for the available cores. Negative
+     * when the run had no 1-worker reference to normalize against
+     * (then omitted from the JSON).
+     */
+    double scalingEfficiency = -1.0;
     double p50HostMsPerPoint = 0.0;
     double p95HostMsPerPoint = 0.0;
     /** Per-phase host time (HostProfiler delta over the timed reps). */
@@ -161,8 +182,14 @@ class Runner
                      const std::function<void()> &body);
     /** Worker counts to measure (--bench-workers, 0 = hardware). */
     std::vector<int> measuredWorkerCounts() const;
+    /** Fill scalingEfficiency on every measurement from the 1-worker
+     *  reference (no-op when the run measured no 1-worker count). */
+    void computeScalingEfficiencies();
     /** Apply the --bench-check guard against @p measured points/sec. */
     void applyGuard(const BenchMeasurement &measured);
+    /** Apply the scaling-efficiency side of --bench-check against
+     *  every measured multi-worker count. */
+    void applyScalingGuard(const std::string &baseline_text);
 
     std::string benchName_;
     std::string title_;
@@ -186,6 +213,7 @@ class Runner
 void writeBenchJson(const std::string &path, const std::string &bench,
                     const std::string &label, const std::string &commit,
                     std::size_t grid_points, int iterations,
+                    unsigned hardware_threads,
                     const std::vector<BenchMeasurement> &measurements,
                     bool append);
 
@@ -195,6 +223,14 @@ void writeBenchJson(const std::string &path, const std::string &bench,
  * value when the file contains none.
  */
 double lastOneWorkerPointsPerSec(const std::string &bench_json_text);
+
+/**
+ * @return the "scaling_efficiency" of the last @p workers-worker
+ * measurement in @p bench_json_text, or a negative value when the file
+ * records none for that worker count (e.g. schema/1 entries).
+ */
+double lastScalingEfficiency(const std::string &bench_json_text,
+                             int workers);
 
 } // namespace bench
 } // namespace lergan

@@ -2,11 +2,14 @@
 # Regenerate the committed BENCH_*.json host-performance baselines.
 #
 # Builds the bench binaries, then measures the fig19 grid (the paper's
-# headline figure and the widest sweep) at 1 and 4 workers and rewrites
-# BENCH_fig19.json with a single fresh "baseline" entry stamped with the
-# current commit. Run it on the reference container after a perf-
+# headline figure and the widest sweep) across a 1/2/4/8-worker scaling
+# curve and appends a fresh "scaling" entry (points/sec + scaling
+# efficiency per worker count, schema lergan-bench/2) to
+# BENCH_fig19.json, preserving the earlier entries — the file is the
+# perf trajectory. Run it on the reference container after a perf-
 # relevant change and commit the result; scripts/check.sh guards future
-# changes against it (see --bench-check in bench/runner.hh).
+# changes against the newest entry (1-worker throughput and 4-worker
+# scaling efficiency; see --bench-check in bench/runner.hh).
 #
 # Usage: scripts/bench_baseline.sh [jobs]
 set -eu
@@ -18,18 +21,22 @@ commit=$(git -C "$root" rev-parse --short HEAD 2>/dev/null || echo unknown)
 cmake -B "$root/build" -S "$root" >/dev/null
 cmake --build "$root/build" -j "$jobs" --target fig19_lergan_vs_prime
 
+# Append when the trajectory file exists, otherwise start one.
+append=""
+[ -f "$root/BENCH_fig19.json" ] && append="--bench-append"
+
 "$root/build/bench/fig19_lergan_vs_prime" \
-    --bench-json "$root/BENCH_fig19.json" \
-    --bench-label baseline \
+    --bench-json "$root/BENCH_fig19.json" $append \
+    --bench-label scaling \
     --bench-commit "$commit" \
-    --bench-workers 1,4 \
+    --bench-workers 1,2,4,8 \
     --bench-repeats 3 >/dev/null
 
 echo "wrote $root/BENCH_fig19.json (commit $commit)"
 
 # Critical-path recording overhead (warm A/B over the grid templates):
 # scripts/check.sh fails when a future change pushes the measured
-# overhead more than 5 points above this committed figure.
+# overhead more than 4 points above this committed figure.
 "$root/build/bench/fig19_lergan_vs_prime" \
     --critpath-baseline "$root/BENCH_fig19_critpath.json" >/dev/null
 

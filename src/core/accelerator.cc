@@ -692,8 +692,9 @@ LerGanAccelerator::trainIterationImpl(Tracer *tracer,
     ExecResult exec;
     {
         const auto scope = HostProfiler::global().scope("simulate");
-        exec = tmpl->graph.execute(machine_.pool(), tracer, metrics,
-                                   &scratch_, record);
+        exec = tmpl->graph.execute(
+            machine_.pool(), tracer, metrics,
+            externalScratch_ ? externalScratch_ : &scratch_, record);
     }
     if (metrics) {
         metrics->counter("sim.iterations").add(1);

@@ -164,6 +164,17 @@ class LerGanAccelerator
      */
     std::shared_ptr<const IterationTemplate> makeIterationTemplate();
 
+    /**
+     * Execute with @p scratch instead of the accelerator's own
+     * buffers (nullptr reverts). Sweep workers point every short-lived
+     * accelerator they construct at their lane's long-lived arena, so
+     * steady-state sweeps reuse the event calendar and counter buffers
+     * across points instead of reallocating per accelerator. The
+     * scratch must outlive the runs and must not be shared with a
+     * concurrent execution.
+     */
+    void useScratch(ExecScratch *scratch) { externalScratch_ = scratch; }
+
     const CompiledGan &compiled() const { return *compiled_; }
     const GanModel &model() const { return model_; }
     const AcceleratorConfig &config() const { return config_; }
@@ -193,6 +204,8 @@ class LerGanAccelerator
     std::size_t cpuRes_;
     /** Reusable executor buffers (near-zero allocation on replay). */
     ExecScratch scratch_;
+    /** When set, runs use this arena instead of scratch_. */
+    ExecScratch *externalScratch_ = nullptr;
 };
 
 } // namespace lergan

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "core/validate.hh"
+#include "exec/thread_pool.hh"
 #include "critpath/critpath.hh"
 #include "critpath/whatif.hh"
 #include "sim/trace.hh"
@@ -113,7 +114,23 @@ ExperimentSweep::run(const RunOptions &options) const
     // the rest, so the point bodies only ever read it.
     std::unordered_map<std::string, PicoSeconds> baselineTime;
 
-    const auto body = [&](std::size_t i) {
+    // One arena per worker lane, reused across every point that lane
+    // runs (and across the pruning path's two batches): the executor's
+    // calendar/counter buffers and the critpath record grow to the
+    // largest graph once, then steady-state points allocate nothing.
+    // Lanes never run two bodies concurrently (ThreadPool::forEach), so
+    // indexing by lane is race-free.
+    struct WorkerArena {
+        ExecScratch scratch;
+        ExecRecord record;
+    };
+    const unsigned workerCount =
+        options.threads == 0 ? defaultThreadCount()
+                             : static_cast<unsigned>(options.threads);
+    std::vector<WorkerArena> arenas(workerCount);
+
+    const auto body = [&](std::size_t i, std::size_t lane) {
+        WorkerArena &arena = arenas[lane];
         const Point &point = points[i];
         const auto began = options.pointTelemetry
                                ? std::chrono::steady_clock::now()
@@ -132,6 +149,7 @@ ExperimentSweep::run(const RunOptions &options) const
         LerGanAccelerator accelerator(*point.model, *point.config,
                                       std::move(compiled),
                                       LerGanAccelerator::Prevalidated{});
+        accelerator.useScratch(&arena.scratch);
         // The iteration DAG is a pure function of (model, config):
         // lower it once per pair, replay it for every point and
         // every repeated run() of the sweep.
@@ -181,7 +199,11 @@ ExperimentSweep::run(const RunOptions &options) const
         Tracer tracer;
         Tracer *trace =
             audit_.enabled && audit_.timing ? &tracer : nullptr;
-        ExecRecord record;
+        // The arena record's buffers are reused across this lane's
+        // points; makeRecordedRun moves them into the result (the
+        // record is part of the report), so only critpath-off sweeps
+        // are fully allocation-free in steady state.
+        ExecRecord &record = arena.record;
         result.report = accelerator.trainIterations(
             options.iterations, trace, metrics, tmpl.get(),
             critpath_ ? &record : nullptr);
@@ -189,6 +211,7 @@ ExperimentSweep::run(const RunOptions &options) const
             result.report.critpath = makeRecordedRun(
                 std::shared_ptr<const TaskGraph>(tmpl, &tmpl->graph),
                 accelerator.resourceNames(), std::move(record));
+            record = ExecRecord{};
         }
         if (pruning_ && metrics)
             metrics->counter("critpath.simulated").add(1);
@@ -231,8 +254,10 @@ ExperimentSweep::run(const RunOptions &options) const
             }
             const auto batch_statuses = runPoints(
                 batch.size(), static_cast<unsigned>(options.threads),
-                [&](std::size_t k) { body(batch[k]); }, progress,
-                metrics);
+                [&](std::size_t k, std::size_t lane) {
+                    body(batch[k], lane);
+                },
+                progress, metrics);
             for (std::size_t k = 0; k < batch.size(); ++k)
                 statuses[batch[k]] = batch_statuses[k];
         };

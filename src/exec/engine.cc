@@ -8,8 +8,7 @@
 namespace lergan {
 
 std::vector<PointStatus>
-runPoints(std::size_t count, unsigned threads,
-          const std::function<void(std::size_t)> &body,
+runPoints(std::size_t count, unsigned threads, const PointBodyFn &body,
           const ProgressFn &onProgress, MetricsRegistry *metrics)
 {
     std::vector<PointStatus> statuses(count);
@@ -17,25 +16,26 @@ runPoints(std::size_t count, unsigned threads,
         return statuses;
 
     ThreadPool pool(threads);
+    // Progress state exists only for an installed sink; the no-sink
+    // epilogue is lock-free (nothing shared to touch). The done count
+    // lives under the mutex because the sink's contract is serialized,
+    // monotonic invocations.
     std::mutex progressMutex;
     std::size_t done = 0;
 
-    for (std::size_t i = 0; i < count; ++i) {
-        pool.submit([&, i] {
-            try {
-                body(i);
-            } catch (const std::exception &e) {
-                statuses[i] = {false, e.what()};
-            } catch (...) {
-                statuses[i] = {false, "unknown exception"};
-            }
+    pool.forEach(count, [&](std::size_t i, std::size_t lane) {
+        try {
+            body(i, lane);
+        } catch (const std::exception &e) {
+            statuses[i] = {false, e.what()};
+        } catch (...) {
+            statuses[i] = {false, "unknown exception"};
+        }
+        if (onProgress) {
             std::lock_guard lock(progressMutex);
-            ++done;
-            if (onProgress)
-                onProgress(done, count);
-        });
-    }
-    pool.drain();
+            onProgress(++done, count);
+        }
+    });
     if (metrics) {
         metrics->gauge("host.pool.threads")
             .set(static_cast<double>(pool.threadCount()));

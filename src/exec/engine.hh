@@ -53,21 +53,34 @@ struct PointStatus {
     std::string error;
 };
 
+/** Point body: called as (point index, worker lane). The lane is a
+ *  dense id in [0, pool width), stable for the body's whole run and
+ *  never shared by two concurrent bodies — index per-worker scratch
+ *  arenas with it. */
+using PointBodyFn = std::function<void(std::size_t, std::size_t)>;
+
 /**
- * Execute @p body(i) for every i in [0, count) on @p threads workers
- * (0 = defaultThreadCount()) and block until all points finished.
+ * Execute @p body(i, lane) for every i in [0, count) on @p threads
+ * workers (0 = defaultThreadCount()) and block until all points
+ * finished. Points are claimed in chunks off a shared cursor (see
+ * ThreadPool::forEach), so the pool's queue lock is touched O(threads)
+ * times regardless of the point count.
  *
  * A body that throws marks its own PointStatus failed with the
  * exception message; the other points are unaffected. Statuses are
  * indexed by point, so the result is deterministic regardless of the
  * order in which workers finish.
  *
+ * Progress accounting exists only while @p onProgress is installed;
+ * without a sink the per-point epilogue takes no lock and touches no
+ * shared counter.
+ *
  * When @p metrics is given, the pool's host-side stats (worker count,
  * per-worker busy time, tasks run) are recorded after the drain under
  * the "host." prefix — wall-clock facts, never part of goldens.
  */
 std::vector<PointStatus> runPoints(std::size_t count, unsigned threads,
-                                   const std::function<void(std::size_t)> &body,
+                                   const PointBodyFn &body,
                                    const ProgressFn &onProgress = {},
                                    MetricsRegistry *metrics = nullptr);
 

@@ -13,6 +13,16 @@
  *  - If the build throws, every blocked caller rethrows and the entry
  *    is dropped, so a later request can retry.
  *
+ * The store is striped for scalability: keys hash onto kStripes
+ * independent stripes, and within a stripe the *hit* path is lock-free
+ * — it reads an immutable published map through an atomic shared_ptr
+ * and bumps a padded atomic hit counter, so a steady-state sweep (all
+ * compiles warm) takes no lock on any thread. Only a miss touches the
+ * stripe mutex, which implements the single-flight build: the builder
+ * parks a shared future in the stripe's in-flight table, builds outside
+ * the lock, then publishes a copy-on-write successor map. Racers that
+ * arrive mid-build block on the future (and count as hits).
+ *
  * Values are handed out as shared immutable pointers: a cached value
  * may be used concurrently from many worker threads, so Value must be
  * safe to read (not mutate) in parallel.
@@ -21,6 +31,8 @@
 #ifndef LERGAN_EXEC_MEMO_CACHE_HH
 #define LERGAN_EXEC_MEMO_CACHE_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
@@ -38,6 +50,13 @@ class MemoCache
   public:
     using BuildFn = std::function<std::shared_ptr<const Value>()>;
 
+    MemoCache()
+    {
+        for (Stripe &stripe : stripes_)
+            stripe.published.store(std::make_shared<const Map>(),
+                                   std::memory_order_relaxed);
+    }
+
     /**
      * Return the value of @p key, invoking @p build on the first
      * request. Concurrent first requests build once; the other callers
@@ -51,34 +70,74 @@ class MemoCache
     get(const std::string &key, const BuildFn &build,
         bool *was_hit = nullptr)
     {
+        Stripe &stripe = stripeFor(key);
+        {
+            // Lock-free fast path: published maps are immutable, so a
+            // hit needs only the atomic pointer load (acquire pairs
+            // with the publishing store) and a counter bump.
+            const std::shared_ptr<const Map> published =
+                stripe.published.load(std::memory_order_acquire);
+            if (auto it = published->find(key); it != published->end()) {
+                stripe.hits.fetch_add(1, std::memory_order_relaxed);
+                if (was_hit)
+                    *was_hit = true;
+                return it->second;
+            }
+        }
+
         std::promise<std::shared_ptr<const Value>> promise;
         {
-            std::unique_lock lock(mutex_);
-            auto it = entries_.find(key);
-            if (it != entries_.end()) {
-                ++hits_;
+            std::unique_lock lock(stripe.mutex);
+            // Re-check under the stripe lock: the key may have been
+            // published — or its build may be in flight — since the
+            // fast-path miss.
+            const std::shared_ptr<const Map> published =
+                stripe.published.load(std::memory_order_acquire);
+            if (auto it = published->find(key); it != published->end()) {
+                stripe.hits.fetch_add(1, std::memory_order_relaxed);
+                if (was_hit)
+                    *was_hit = true;
+                return it->second;
+            }
+            if (auto it = stripe.inflight.find(key);
+                it != stripe.inflight.end()) {
+                stripe.hits.fetch_add(1, std::memory_order_relaxed);
                 if (was_hit)
                     *was_hit = true;
                 Future future = it->second;
                 lock.unlock();
                 return future.get(); // rethrows a racing build's failure
             }
-            ++misses_;
+            stripe.misses.fetch_add(1, std::memory_order_relaxed);
             if (was_hit)
                 *was_hit = false;
-            entries_.emplace(key, promise.get_future().share());
+            stripe.inflight.emplace(key, promise.get_future().share());
         }
 
         // Build outside the lock: different keys build in parallel;
         // racers on this key block on the shared future above.
         try {
             std::shared_ptr<const Value> value = build();
+            {
+                std::lock_guard lock(stripe.mutex);
+                // Copy-on-write publish: successor map replaces the
+                // published pointer, then the in-flight entry goes away
+                // (same critical section, so every racer sees the key
+                // in exactly one of the two tables).
+                auto next = std::make_shared<Map>(*stripe.published.load(
+                    std::memory_order_relaxed));
+                (*next)[key] = value;
+                stripe.published.store(
+                    std::shared_ptr<const Map>(std::move(next)),
+                    std::memory_order_release);
+                stripe.inflight.erase(key);
+            }
             promise.set_value(value);
             return value;
         } catch (...) {
             promise.set_exception(std::current_exception());
-            std::lock_guard lock(mutex_);
-            entries_.erase(key);
+            std::lock_guard lock(stripe.mutex);
+            stripe.inflight.erase(key);
             throw;
         }
     }
@@ -87,43 +146,77 @@ class MemoCache
     std::uint64_t
     hits() const
     {
-        std::lock_guard lock(mutex_);
-        return hits_;
+        std::uint64_t total = 0;
+        for (const Stripe &stripe : stripes_)
+            total += stripe.hits.load(std::memory_order_relaxed);
+        return total;
     }
 
     /** Requests that had to build (exact). */
     std::uint64_t
     misses() const
     {
-        std::lock_guard lock(mutex_);
-        return misses_;
+        std::uint64_t total = 0;
+        for (const Stripe &stripe : stripes_)
+            total += stripe.misses.load(std::memory_order_relaxed);
+        return total;
     }
 
-    /** Distinct values currently held. */
+    /** Distinct values currently held (published + building). */
     std::size_t
     size() const
     {
-        std::lock_guard lock(mutex_);
-        return entries_.size();
+        std::size_t total = 0;
+        for (const Stripe &stripe : stripes_) {
+            std::lock_guard lock(stripe.mutex);
+            total += stripe.published.load(std::memory_order_relaxed)
+                         ->size() +
+                     stripe.inflight.size();
+        }
+        return total;
     }
 
     /** Drop every entry and reset the counters. */
     void
     clear()
     {
-        std::lock_guard lock(mutex_);
-        entries_.clear();
-        hits_ = 0;
-        misses_ = 0;
+        for (Stripe &stripe : stripes_) {
+            std::lock_guard lock(stripe.mutex);
+            stripe.published.store(std::make_shared<const Map>(),
+                                   std::memory_order_release);
+            stripe.inflight.clear();
+            stripe.hits.store(0, std::memory_order_relaxed);
+            stripe.misses.store(0, std::memory_order_relaxed);
+        }
     }
 
   private:
+    using Map = std::map<std::string, std::shared_ptr<const Value>>;
     using Future = std::shared_future<std::shared_ptr<const Value>>;
 
-    mutable std::mutex mutex_;
-    std::map<std::string, Future> entries_;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
+    /** Stripe count: a power of two well above the worker counts in
+     *  use, so concurrent misses on different keys rarely collide. */
+    static constexpr std::size_t kStripes = 16;
+
+    struct alignas(64) Stripe {
+        /** Immutable snapshot of this stripe's completed entries; the
+         *  hit path reads it without the mutex. */
+        std::atomic<std::shared_ptr<const Map>> published;
+        mutable std::mutex mutex;
+        /** Single-flight table of builds in progress (guarded by
+         *  mutex). */
+        std::map<std::string, Future> inflight;
+        std::atomic<std::uint64_t> hits{0};
+        std::atomic<std::uint64_t> misses{0};
+    };
+
+    Stripe &
+    stripeFor(const std::string &key)
+    {
+        return stripes_[std::hash<std::string>{}(key) % kStripes];
+    }
+
+    std::array<Stripe, kStripes> stripes_;
 };
 
 } // namespace lergan

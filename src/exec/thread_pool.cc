@@ -15,7 +15,7 @@ ThreadPool::ThreadPool(unsigned threads)
 {
     if (threads == 0)
         threads = defaultThreadCount();
-    busyNs_.assign(threads, 0);
+    stats_ = std::make_unique<WorkerStat[]>(threads);
     workers_.reserve(threads);
     for (unsigned i = 0; i < threads; ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
@@ -49,23 +49,63 @@ ThreadPool::drain()
                   [this] { return queue_.empty() && running_ == 0; });
 }
 
+void
+ThreadPool::forEach(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    const std::size_t lanes = std::min(workers_.size(), count);
+    // ~8 chunks per lane: coarse enough that the claim cursor is cold,
+    // fine enough that uneven point costs still balance across lanes.
+    const std::size_t chunk =
+        std::max<std::size_t>(1, count / (lanes * 8));
+    // Shared claiming state outlives this frame only through the
+    // submitted tasks; shared_ptr keeps it alive until the last one
+    // finishes (drain() below also guarantees that before we return,
+    // but the destructor-drains-queue path needs the ownership too).
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    auto lane = std::make_shared<std::atomic<std::size_t>>(0);
+    for (std::size_t t = 0; t < lanes; ++t) {
+        submit([count, chunk, next, lane, &fn] {
+            const std::size_t self =
+                lane->fetch_add(1, std::memory_order_relaxed);
+            for (;;) {
+                const std::size_t begin =
+                    next->fetch_add(chunk, std::memory_order_relaxed);
+                if (begin >= count)
+                    return;
+                const std::size_t end = std::min(begin + chunk, count);
+                for (std::size_t i = begin; i < end; ++i)
+                    fn(i, self);
+            }
+        });
+    }
+    drain();
+}
+
 std::vector<std::uint64_t>
 ThreadPool::workerBusyNs() const
 {
-    std::lock_guard lock(mutex_);
-    return busyNs_;
+    std::vector<std::uint64_t> busy(workers_.size());
+    for (std::size_t w = 0; w < workers_.size(); ++w)
+        busy[w] = stats_[w].busyNs.load(std::memory_order_relaxed);
+    return busy;
 }
 
 std::uint64_t
 ThreadPool::tasksRun() const
 {
-    std::lock_guard lock(mutex_);
-    return tasksRun_;
+    std::uint64_t total = 0;
+    for (std::size_t w = 0; w < workers_.size(); ++w)
+        total += stats_[w].tasksRun.load(std::memory_order_relaxed);
+    return total;
 }
 
 void
 ThreadPool::workerLoop(std::size_t worker)
 {
+    WorkerStat &stat = stats_[worker];
     std::unique_lock lock(mutex_);
     for (;;) {
         workReady_.wait(
@@ -82,9 +122,12 @@ ThreadPool::workerLoop(std::size_t worker)
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - begin)
                 .count();
+        // Stats go to this worker's own padded slot — the queue lock
+        // is for the queue, not for accounting.
+        stat.busyNs.fetch_add(static_cast<std::uint64_t>(ns),
+                              std::memory_order_relaxed);
+        stat.tasksRun.fetch_add(1, std::memory_order_relaxed);
         lock.lock();
-        busyNs_[worker] += static_cast<std::uint64_t>(ns);
-        ++tasksRun_;
         --running_;
         if (queue_.empty() && running_ == 0)
             allIdle_.notify_all();

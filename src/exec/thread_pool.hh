@@ -3,10 +3,13 @@
  * Fixed-size worker thread pool.
  *
  * A minimal mutex/condvar work queue feeding std::jthread workers — no
- * external dependencies. Experiment points run for milliseconds while
- * queue operations take nanoseconds, so a single queue lock is not a
- * bottleneck; what matters is that submission never blocks behind
- * running tasks and that drain/destruction are clean.
+ * external dependencies. The queue is for coarse tasks; bulk point
+ * grids go through forEach(), which pushes only one claiming task per
+ * worker through the queue and lets the workers carve the index range
+ * into chunks off a shared atomic cursor — the mutex/condvar pair is
+ * touched O(workers) times per grid, not O(points). Per-worker stats
+ * (busy time, tasks run) live in cache-line-padded atomic slots, so
+ * task completion never takes the queue lock either.
  *
  * Tasks must not let exceptions escape: the pool has nowhere to deliver
  * them (the engine layer wraps point bodies in a catch-all and records
@@ -16,11 +19,13 @@
 #ifndef LERGAN_EXEC_THREAD_POOL_HH
 #define LERGAN_EXEC_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -46,6 +51,26 @@ class ThreadPool
     /** Enqueue @p task; returns immediately. */
     void submit(std::function<void()> task);
 
+    /**
+     * Run @p fn(index, lane) for every index in [0, count) across the
+     * pool and block until all of them finished.
+     *
+     * Chunked claiming: one claiming task per worker enters the queue;
+     * each claims contiguous index chunks off a shared atomic cursor
+     * until the range is exhausted. @p fn's second argument is the
+     * claiming task's dense lane id in [0, min(threadCount(), count))
+     * — stable for the whole call and never used by two concurrent
+     * bodies, so callers can index per-worker scratch arenas with it.
+     *
+     * With one worker the indexes run in ascending order; with more,
+     * chunks interleave arbitrarily (callers must make bodies
+     * order-independent, as with submit()).
+     *
+     * @p fn must not throw (same contract as submitted tasks).
+     */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t, std::size_t)> &fn);
+
     /** Block until the queue is empty and every worker is idle. */
     void drain();
 
@@ -66,6 +91,13 @@ class ThreadPool
   private:
     void workerLoop(std::size_t worker);
 
+    /** Per-worker stats in a padded slot: workers update their own
+     *  line without the queue lock and without false sharing. */
+    struct alignas(64) WorkerStat {
+        std::atomic<std::uint64_t> busyNs{0};
+        std::atomic<std::uint64_t> tasksRun{0};
+    };
+
     mutable std::mutex mutex_;
     std::condition_variable workReady_;
     std::condition_variable allIdle_;
@@ -73,9 +105,7 @@ class ThreadPool
     /** Tasks currently executing on some worker. */
     std::size_t running_ = 0;
     bool stopping_ = false;
-    /** Per-worker time spent inside task() (guarded by mutex_). */
-    std::vector<std::uint64_t> busyNs_;
-    std::uint64_t tasksRun_ = 0;
+    std::unique_ptr<WorkerStat[]> stats_;
     std::vector<std::jthread> workers_;
 };
 

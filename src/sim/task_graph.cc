@@ -93,8 +93,7 @@ TaskGraph::execute(ResourcePool &pool, Tracer *tracer,
         record->bindingKind.resize(n);
         record->bindingRes.resize(n);
         record->resPrev.resize(f.resStart[n]);
-        record->completionOrder.clear();
-        record->completionOrder.reserve(n);
+        record->completionOrder.resize(n);
         record->lastTask = kNoTask;
         record->makespan = 0;
     }
@@ -217,7 +216,10 @@ TaskGraph::execute(ResourcePool &pool, Tracer *tracer,
             ++completed;
             if (record) {
                 record->end[id] = end;
-                record->completionOrder.push_back(id);
+                // Indexed store into the pre-sized order array (every
+                // task completes exactly once, so `completed` is a
+                // dense cursor) — no growth check per completion.
+                record->completionOrder[completed - 1] = id;
                 if (end >= record->makespan) {
                     record->makespan = end;
                     record->lastTask = id;

@@ -100,8 +100,16 @@ class ExecScratch
     sim::CalendarQueue<TaskEvent> queue;
     std::vector<std::uint32_t> unmet;
     std::vector<PicoSeconds> ready;
-    /** @name Recording-only buffers (touched when an ExecRecord is
-     *  attached; empty and untouched otherwise) */
+    /**
+     * @name Recording-only buffers (touched when an ExecRecord is
+     * attached; empty and untouched otherwise)
+     *
+     * Kept as plain 4-byte TaskId slots refilled with one sentinel
+     * assign() per recorded run. An epoch-stamped variant (8-byte
+     * slots, no refill) measured consistently *slower* on the fig19
+     * A/B — doubling the footprint of these two hot arrays costs more
+     * in cache misses than the sequential memset-like refill saves.
+     */
     ///@{
     std::vector<TaskId> bindingDep;  ///< dep that set each ready time
     std::vector<TaskId> lastHolder;  ///< last reserver per resource

@@ -8,34 +8,99 @@
 
 namespace lergan {
 
+namespace telemetry_detail {
+
+std::size_t
+assignShard()
+{
+    // Round-robin: the first kShards recording threads land on
+    // distinct slots (a worker pool of <= kShards threads is fully
+    // contention-free); later threads wrap around.
+    static std::atomic<std::size_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed) % kShards;
+}
+
+} // namespace telemetry_detail
+
 void
 Histogram::observe(std::uint64_t sample)
 {
-    buckets_[bucketOf(sample)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_.fetch_add(sample, std::memory_order_relaxed);
-    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    // One shard per recording thread: every store below lands on the
+    // calling thread's own padded slot, and the min/max CAS loops can
+    // only ever race with the same thread's earlier stores (they are
+    // still atomic because readers merge concurrently).
+    Shard &shard = shards_[telemetry_detail::shardIndex()];
+    shard.buckets[bucketOf(sample)].fetch_add(1,
+                                              std::memory_order_relaxed);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    shard.sum.fetch_add(sample, std::memory_order_relaxed);
+    std::uint64_t seen = shard.min.load(std::memory_order_relaxed);
     while (sample < seen &&
-           !min_.compare_exchange_weak(seen, sample,
-                                       std::memory_order_relaxed)) {
+           !shard.min.compare_exchange_weak(seen, sample,
+                                            std::memory_order_relaxed)) {
     }
-    seen = max_.load(std::memory_order_relaxed);
+    seen = shard.max.load(std::memory_order_relaxed);
     while (sample > seen &&
-           !max_.compare_exchange_weak(seen, sample,
-                                       std::memory_order_relaxed)) {
+           !shard.max.compare_exchange_weak(seen, sample,
+                                            std::memory_order_relaxed)) {
     }
+}
+
+std::uint64_t
+Histogram::count() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_)
+        total += shard.count.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+Histogram::sum() const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_)
+        total += shard.sum.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::uint64_t
+Histogram::bucketCount(int bucket) const
+{
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_)
+        total += shard.buckets[bucket].load(std::memory_order_relaxed);
+    return total;
 }
 
 std::uint64_t
 Histogram::min() const
 {
-    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+    // Empty shards keep the UINT64_MAX sentinel and never win the
+    // reduction against a shard that observed anything.
+    std::uint64_t lowest = UINT64_MAX;
+    std::uint64_t total = 0;
+    for (const Shard &shard : shards_) {
+        total += shard.count.load(std::memory_order_relaxed);
+        const std::uint64_t seen =
+            shard.min.load(std::memory_order_relaxed);
+        if (seen < lowest)
+            lowest = seen;
+    }
+    return total == 0 ? 0 : lowest;
 }
 
 std::uint64_t
 Histogram::max() const
 {
-    return max_.load(std::memory_order_relaxed);
+    std::uint64_t highest = 0;
+    for (const Shard &shard : shards_) {
+        const std::uint64_t seen =
+            shard.max.load(std::memory_order_relaxed);
+        if (seen > highest)
+            highest = seen;
+    }
+    return highest;
 }
 
 int

@@ -4,11 +4,17 @@
  * dot-separated names ("sim.queue.depth", "ic.htree.wire.flits",
  * "cache.model.hits").
  *
- * Recording is cheap and thread-safe: every instrument is a handful of
- * atomics, so the simulator and the sweep worker pool record without a
- * lock (the registry mutex guards only instrument *creation*). Readers
- * take a MetricsSnapshot — an ordered, plain-data copy with delta
- * semantics and JSON / Prometheus-text / CSV exporters.
+ * Recording is cheap, thread-safe and contention-free: counters and
+ * histograms are sharded into cache-line-padded per-thread slots (each
+ * recording thread owns one slot via a round-robin thread→shard
+ * assignment), so concurrent workers never write the same cache line —
+ * no lock and no false sharing on the hot path (the registry mutex
+ * guards only instrument *creation*). Readers merge the shards: a
+ * counter's value is the sum of its slots, a histogram's buckets,
+ * count and sum add across slots and min/max reduce across them, so a
+ * MetricsSnapshot — an ordered, plain-data copy with delta semantics
+ * and JSON / Prometheus-text / CSV exporters — is byte-identical to
+ * what an unsharded registry would have produced.
  *
  * Determinism contract: counters and histograms accumulate integers,
  * so their totals are identical regardless of how many worker threads
@@ -34,27 +40,68 @@
 
 namespace lergan {
 
-/** Monotonic integer count (flits, transitions, tasks). */
+namespace telemetry_detail {
+
+/** Cache-line size the shard slots pad to (false-sharing avoidance). */
+inline constexpr std::size_t kCacheLine = 64;
+
+/** Shards per instrument: enough that the worker pools in use (the
+ *  sweep engine rarely runs wider than the hardware) spread across
+ *  distinct lines; threads beyond this share slots round-robin, which
+ *  costs contention but never correctness. */
+inline constexpr std::size_t kShards = 8;
+
+/** Round-robin thread→shard assignment (definition in metrics.cc). */
+std::size_t assignShard();
+
+/** Stable shard of the calling thread, in [0, kShards). */
+inline std::size_t
+shardIndex()
+{
+    thread_local const std::size_t shard = assignShard();
+    return shard;
+}
+
+} // namespace telemetry_detail
+
+/**
+ * Monotonic integer count (flits, transitions, tasks).
+ *
+ * Sharded: add() touches only the calling thread's padded slot;
+ * value() sums the slots (exact — integer adds commute).
+ */
 class Counter
 {
   public:
     void
     add(std::uint64_t delta = 1)
     {
-        value_.fetch_add(delta, std::memory_order_relaxed);
+        shards_[telemetry_detail::shardIndex()].value.fetch_add(
+            delta, std::memory_order_relaxed);
     }
 
     std::uint64_t
     value() const
     {
-        return value_.load(std::memory_order_relaxed);
+        std::uint64_t total = 0;
+        for (const Shard &shard : shards_)
+            total += shard.value.load(std::memory_order_relaxed);
+        return total;
     }
 
   private:
-    std::atomic<std::uint64_t> value_{0};
+    struct alignas(telemetry_detail::kCacheLine) Shard {
+        std::atomic<std::uint64_t> value{0};
+    };
+    std::array<Shard, telemetry_detail::kShards> shards_;
 };
 
-/** Last-written scalar (cache sizes, configuration facts, host times). */
+/**
+ * Last-written scalar (cache sizes, configuration facts, host times).
+ *
+ * Not sharded — "last write wins" has no per-thread merge — but padded
+ * so a hot gauge never false-shares with a neighboring instrument.
+ */
 class Gauge
 {
   public:
@@ -71,7 +118,7 @@ class Gauge
     }
 
   private:
-    std::atomic<double> value_{0.0};
+    alignas(telemetry_detail::kCacheLine) std::atomic<double> value_{0.0};
 };
 
 /**
@@ -81,6 +128,11 @@ class Gauge
  * Bucket i counts samples whose bit width is i: bucket 0 holds zeros,
  * bucket i >= 1 holds values in [2^(i-1), 2^i - 1]. Everything is an
  * atomic integer, so concurrent observes merge deterministically.
+ *
+ * Sharded like Counter: observe() writes only the calling thread's
+ * shard (its buckets, count, sum and running min/max); readers merge —
+ * buckets/count/sum add across shards, min/max reduce across the
+ * non-empty ones. Merged totals equal an unsharded histogram's.
  */
 class Histogram
 {
@@ -89,22 +141,12 @@ class Histogram
 
     void observe(std::uint64_t sample);
 
-    std::uint64_t count() const
-    {
-        return count_.load(std::memory_order_relaxed);
-    }
-    std::uint64_t sum() const
-    {
-        return sum_.load(std::memory_order_relaxed);
-    }
+    std::uint64_t count() const;
+    std::uint64_t sum() const;
     /** Smallest / largest observed sample (0 / 0 when empty). */
     std::uint64_t min() const;
     std::uint64_t max() const;
-    std::uint64_t
-    bucketCount(int bucket) const
-    {
-        return buckets_[bucket].load(std::memory_order_relaxed);
-    }
+    std::uint64_t bucketCount(int bucket) const;
 
     /** Bucket index of @p sample (its bit width). */
     static int bucketOf(std::uint64_t sample);
@@ -113,11 +155,14 @@ class Histogram
     static std::uint64_t bucketUpperBound(int bucket);
 
   private:
-    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-    std::atomic<std::uint64_t> count_{0};
-    std::atomic<std::uint64_t> sum_{0};
-    std::atomic<std::uint64_t> min_{UINT64_MAX};
-    std::atomic<std::uint64_t> max_{0};
+    struct alignas(telemetry_detail::kCacheLine) Shard {
+        std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> min{UINT64_MAX};
+        std::atomic<std::uint64_t> max{0};
+    };
+    std::array<Shard, telemetry_detail::kShards> shards_;
 };
 
 /** Plain-data copy of one histogram at snapshot time. */

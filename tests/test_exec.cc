@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -104,11 +105,69 @@ TEST(ThreadPool, DestructorRunsRemainingTasks)
     EXPECT_EQ(ran.load(), 16);
 }
 
+TEST(ThreadPool, ForEachRunsEveryIndexExactlyOnceWithBoundedLanes)
+{
+    // forEach claims chunks off a shared cursor instead of queueing one
+    // task per index; the contract that survives the chunking is that
+    // every index in [0, count) runs exactly once and every lane id is
+    // below min(workers, count). scripts/check.sh re-runs this under
+    // -fsanitize=thread (ctest -L tsan).
+    ThreadPool pool(4);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> runs(kCount);
+    std::atomic<std::size_t> maxLane{0};
+    pool.forEach(kCount, [&](std::size_t i, std::size_t lane) {
+        runs[i].fetch_add(1);
+        std::size_t cur = maxLane.load();
+        while (lane > cur &&
+               !maxLane.compare_exchange_weak(cur, lane)) {
+        }
+    });
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(runs[i].load(), 1) << "index " << i;
+    EXPECT_LT(maxLane.load(), 4u);
+}
+
+TEST(ThreadPool, ForEachNeverOverlapsTwoBodiesOnOneLane)
+{
+    // Sweep workers index per-lane scratch arenas with the lane id, so
+    // two bodies must never run concurrently under the same lane.
+    ThreadPool pool(8);
+    constexpr std::size_t kCount = 4000;
+    std::array<std::atomic<int>, 8> inUse{};
+    std::atomic<bool> overlapped{false};
+    pool.forEach(kCount, [&](std::size_t, std::size_t lane) {
+        ASSERT_LT(lane, inUse.size());
+        if (inUse[lane].fetch_add(1) != 0)
+            overlapped.store(true);
+        inUse[lane].fetch_sub(1);
+    });
+    EXPECT_FALSE(overlapped.load());
+}
+
+TEST(ThreadPool, ForEachOnOneWorkerVisitsIndicesInAscendingOrder)
+{
+    // With a single worker the shared cursor degenerates to a plain
+    // ascending scan — the property the 1-worker determinism goldens
+    // lean on.
+    ThreadPool pool(1);
+    constexpr std::size_t kCount = 100;
+    std::vector<std::size_t> order;
+    pool.forEach(kCount, [&](std::size_t i, std::size_t lane) {
+        EXPECT_EQ(lane, 0u);
+        order.push_back(i);
+    });
+    ASSERT_EQ(order.size(), kCount);
+    for (std::size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
 TEST(Engine, ThrowingPointFailsAloneWithoutPoisoningSiblings)
 {
     constexpr std::size_t kPoints = 7;
     std::atomic<int> bodiesRun{0};
-    const auto statuses = runPoints(kPoints, 3, [&](std::size_t i) {
+    const auto statuses = runPoints(kPoints, 3,
+                                    [&](std::size_t i, std::size_t) {
         bodiesRun.fetch_add(1);
         if (i == 2)
             throw std::runtime_error("boom at point 2");
@@ -132,7 +191,7 @@ TEST(Engine, ProgressIsSerializedMonotonicAndComplete)
     constexpr std::size_t kPoints = 20;
     std::vector<std::size_t> seen;
     const auto statuses = runPoints(
-        kPoints, 4, [](std::size_t) {},
+        kPoints, 4, [](std::size_t, std::size_t) {},
         [&](std::size_t done, std::size_t total) {
             EXPECT_EQ(total, kPoints);
             seen.push_back(done); // serialized: no lock needed
@@ -267,6 +326,47 @@ TEST(MemoCache, GrowthIsEvictionFreeWithExactAccounting)
     // Values handed out before clear() stay alive: ownership is
     // shared, not borrowed from the cache.
     EXPECT_EQ(*first[5], 5u);
+}
+
+TEST(MemoCache, StripedStressKeepsExactAccountingAcrossThreads)
+{
+    // Hammer many distinct keys (spanning all stripes) from 8 threads:
+    // every key builds exactly once, and hits + misses equal the total
+    // number of get() calls — the lock-free published-map fast path
+    // must not lose or double-count anything. scripts/check.sh re-runs
+    // this under -fsanitize=thread (ctest -L tsan).
+    MemoCache<std::size_t> cache;
+    constexpr int kThreads = 8;
+    constexpr std::size_t kKeys = 48;
+    constexpr int kRounds = 4;
+    std::atomic<int> builds{0};
+    {
+        std::vector<std::thread> threads;
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&] {
+                for (int round = 0; round < kRounds; ++round) {
+                    for (std::size_t k = 0; k < kKeys; ++k) {
+                        const auto value = cache.get(
+                            "key" + std::to_string(k), [&builds, k] {
+                                builds.fetch_add(1);
+                                return std::make_shared<
+                                    const std::size_t>(k);
+                            });
+                        ASSERT_NE(value, nullptr);
+                        EXPECT_EQ(*value, k);
+                    }
+                }
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+    EXPECT_EQ(builds.load(), static_cast<int>(kKeys));
+    EXPECT_EQ(cache.size(), kKeys);
+    EXPECT_EQ(cache.misses(), kKeys);
+    constexpr std::uint64_t kGets =
+        static_cast<std::uint64_t>(kThreads) * kRounds * kKeys;
+    EXPECT_EQ(cache.hits(), kGets - kKeys);
 }
 
 TEST(ModelCache, CompilesOnceWithExactCounters)
@@ -445,6 +545,38 @@ TEST(SweepExec, ResultsStayBenchmarkMajorUnderParallelism)
     EXPECT_EQ(results[2].configLabel, "lergan");
     EXPECT_EQ(results[3].benchmark, "cGAN");
     EXPECT_EQ(results[3].configLabel, "prime");
+}
+
+TEST(SweepExec, SaturatedPoolKeepsBenchmarkMajorOrderAndBytes)
+{
+    // Oversubscribe the pool (8 workers, 4 grid points): chunked
+    // claiming and per-lane arenas must still land every result in its
+    // benchmark-major slot and export byte-identically to the 1-worker
+    // run.
+    const ExperimentSweep sweep = smallSweep();
+    RunOptions sequential;
+    sequential.threads = 1;
+    sequential.iterations = 2;
+    RunOptions saturated;
+    saturated.threads = 8;
+    saturated.iterations = 2;
+
+    const auto seqResults = sweep.run(sequential);
+    const auto satResults = sweep.run(saturated);
+    ASSERT_EQ(satResults.size(), 4u);
+    EXPECT_EQ(satResults[0].benchmark, "MAGAN-MNIST");
+    EXPECT_EQ(satResults[0].configLabel, "lergan");
+    EXPECT_EQ(satResults[1].benchmark, "MAGAN-MNIST");
+    EXPECT_EQ(satResults[1].configLabel, "prime");
+    EXPECT_EQ(satResults[2].benchmark, "cGAN");
+    EXPECT_EQ(satResults[2].configLabel, "lergan");
+    EXPECT_EQ(satResults[3].benchmark, "cGAN");
+    EXPECT_EQ(satResults[3].configLabel, "prime");
+
+    std::ostringstream seqJson, satJson;
+    writeSweepJson(seqJson, seqResults);
+    writeSweepJson(satJson, satResults);
+    EXPECT_EQ(seqJson.str(), satJson.str());
 }
 
 TEST(SweepExec, ThrowingPointFailsWithoutPoisoningSiblings)

@@ -269,5 +269,60 @@ TEST(MetricsRegistry, ConcurrentRecordingFromWorkerPool)
               static_cast<std::uint64_t>(kTasks) * kOpsPerTask);
 }
 
+TEST(MetricsRegistry, ShardedSnapshotsMatchSingleThreadedReference)
+{
+    // The per-worker shards are an implementation detail: after the
+    // snapshot merge, a registry hammered from 8 threads must
+    // serialize byte-identically to one fed the same observations on a
+    // single thread. This is the contract the determinism goldens rest
+    // on; scripts/check.sh re-runs it under -fsanitize=thread.
+    constexpr int kThreads = 8;
+    constexpr int kOpsPerThread = 2000;
+
+    MetricsRegistry sharded;
+    {
+        ThreadPool pool(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            pool.submit([&sharded] {
+                Counter &runs = sharded.counter("sim.graph.runs");
+                Histogram &lat = sharded.histogram("sim.task.latency");
+                for (int i = 0; i < kOpsPerThread; ++i) {
+                    runs.add(2);
+                    lat.observe(static_cast<std::uint64_t>(i * 3));
+                }
+            });
+        }
+        pool.drain();
+    }
+    sharded.gauge("cache.model.size").set(7.0);
+
+    MetricsRegistry reference;
+    {
+        Counter &runs = reference.counter("sim.graph.runs");
+        Histogram &lat = reference.histogram("sim.task.latency");
+        for (int t = 0; t < kThreads; ++t)
+            for (int i = 0; i < kOpsPerThread; ++i) {
+                runs.add(2);
+                lat.observe(static_cast<std::uint64_t>(i * 3));
+            }
+        reference.gauge("cache.model.size").set(7.0);
+    }
+
+    std::ostringstream got, want;
+    sharded.snapshot().writePrometheus(got);
+    reference.snapshot().writePrometheus(want);
+    EXPECT_EQ(got.str(), want.str());
+
+    // The merged extrema are exact, not bucket-rounded.
+    const MetricsSnapshot snap = sharded.snapshot();
+    const HistogramSnapshot &lat =
+        snap.histograms.at("sim.task.latency");
+    EXPECT_EQ(lat.min, 0u);
+    EXPECT_EQ(lat.max,
+              static_cast<std::uint64_t>((kOpsPerThread - 1) * 3));
+    EXPECT_EQ(lat.count, static_cast<std::uint64_t>(kThreads) *
+                             kOpsPerThread);
+}
+
 } // namespace
 } // namespace lergan
