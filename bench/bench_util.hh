@@ -11,10 +11,12 @@
 #define LERGAN_BENCH_BENCH_UTIL_HH
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/fpga_gan.hh"
 #include "baselines/gpu.hh"
@@ -22,9 +24,11 @@
 #include "common/args.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "core/anomaly.hh"
 #include "core/api.hh"
 #include "exec/engine.hh"
 #include "telemetry/profiler.hh"
+#include "telemetry/tracing.hh"
 
 namespace lergan {
 namespace bench {
@@ -112,16 +116,42 @@ class Observability
                        "profile the simulator's own host phases "
                        "(reported on stderr)",
                        "", /*is_flag=*/true);
+        args.addOption("trace-spans",
+                       "record lifecycle spans and write the NDJSON "
+                       "span event log to this file (- for stdout)");
+        args.addOption("trace-anomalies",
+                       "record lifecycle spans and report slow/failed "
+                       "points on stderr (value = host-ms quantile)",
+                       "0.9");
+        args.addOption("trace-capacity",
+                       "flight-recorder ring capacity per worker lane "
+                       "(spans kept for post-mortem)",
+                       "4096");
     }
 
     explicit Observability(const ArgParser &args)
         : metricsPath_(args.get("metrics")),
           metricsFormat_(args.get("metrics-format")),
+          spansPath_(args.get("trace-spans")),
           progressWanted_(args.getFlag("progress")),
-          selfProfile_(args.getFlag("self-profile"))
+          selfProfile_(args.getFlag("self-profile")),
+          anomaliesWanted_(args.given("trace-anomalies"))
     {
         if (!metricsPath_.empty())
             registry_ = std::make_shared<MetricsRegistry>();
+        if (!spansPath_.empty() || anomaliesWanted_) {
+            const int capacity = args.getInt("trace-capacity");
+            recorder_ = std::make_shared<FlightRecorder>(
+                capacity > 0 ? static_cast<std::size_t>(capacity)
+                             : FlightRecorder::kDefaultCapacity);
+        }
+        if (anomaliesWanted_) {
+            anomalyOptions_.quantile =
+                std::atof(args.get("trace-anomalies").c_str());
+            LERGAN_ASSERT(anomalyOptions_.quantile > 0.0 &&
+                              anomalyOptions_.quantile <= 1.0,
+                          "--trace-anomalies quantile must be in (0,1]");
+        }
         if (selfProfile_) {
             HostProfiler::global().reset();
             HostProfiler::global().enable();
@@ -132,6 +162,32 @@ class Observability
     const std::shared_ptr<MetricsRegistry> &registry() const
     {
         return registry_;
+    }
+
+    /**
+     * The flight recorder to attach via withTracing() (null unless
+     * --trace-spans or --trace-anomalies was given).
+     */
+    const std::shared_ptr<FlightRecorder> &recorder() const
+    {
+        return recorder_;
+    }
+
+    /** True when --trace-anomalies asked for the slow-point report
+     *  (the sweep then needs RunOptions::pointTelemetry). */
+    bool anomaliesWanted() const { return anomaliesWanted_; }
+
+    /**
+     * Post-run reporting of a traced sweep: the --trace-anomalies
+     * report on stderr. Call once, with the results of the sweep the
+     * recorder observed. No-op when tracing is off.
+     */
+    void
+    reportSweep(const std::vector<SweepResult> &results)
+    {
+        if (recorder_ && anomaliesWanted_)
+            writeAnomalyReport(std::cerr, results, *recorder_,
+                               anomalyOptions_);
     }
 
     /**
@@ -151,11 +207,29 @@ class Observability
 
     /**
      * Export everything the flags asked for: the --metrics snapshot
-     * (host-profile gauges folded in first) and the --self-profile
-     * table on stderr.
+     * (host-profile gauges folded in first), the --self-profile table
+     * on stderr and — last, so the export's own span makes it into the
+     * log — the --trace-spans NDJSON event log.
      */
     void
     finish()
+    {
+        if (recorder_) {
+            // The export work is a traced unit too: one root "export"
+            // span on the main ring, closed before the span log is
+            // written out.
+            MainLaneBinding bind(*recorder_);
+            Span span(recorder_->allocateTraceId(), "export");
+            exportMetrics();
+        } else {
+            exportMetrics();
+        }
+        exportSpans();
+    }
+
+  private:
+    void
+    exportMetrics()
     {
         if (selfProfile_) {
             std::cerr << "host profile:\n";
@@ -188,12 +262,37 @@ class Observability
         write(out);
     }
 
-  private:
+    void
+    exportSpans()
+    {
+        if (!recorder_ || spansPath_.empty())
+            return;
+        const std::vector<SpanEvent> events = recorder_->collect();
+        if (spansPath_ == "-") {
+            writeSpanNdjson(std::cout, events);
+            return;
+        }
+        std::ofstream out(spansPath_);
+        if (!out)
+            LERGAN_FATAL("cannot write span log '", spansPath_, "'");
+        writeSpanNdjson(out, events);
+        if (recorder_->dropped() > 0) {
+            std::cerr << "trace-spans: " << recorder_->dropped()
+                      << " spans overwritten (ring capacity "
+                      << recorder_->laneCapacity()
+                      << "/lane) — oldest traces are partial\n";
+        }
+    }
+
     std::string metricsPath_;
     std::string metricsFormat_;
+    std::string spansPath_;
     bool progressWanted_ = false;
     bool selfProfile_ = false;
+    bool anomaliesWanted_ = false;
+    AnomalyOptions anomalyOptions_;
     std::shared_ptr<MetricsRegistry> registry_;
+    std::shared_ptr<FlightRecorder> recorder_;
 };
 
 /**

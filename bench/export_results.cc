@@ -8,9 +8,11 @@
  *   ./build/bench/export_results --json results.json --csv results.csv
  *
  * --telemetry augments both exports with per-point host observations
- * (cache hit, wall ms) and a run summary (cache totals, wall clock).
- * The default output shape is unchanged without the flag, so existing
- * consumers and the golden diffs are unaffected.
+ * (cache hit, wall ms) and a run summary (cache totals, wall clock);
+ * combined with --trace-spans/--trace-anomalies it additionally gains
+ * per-point span-count and queue-wait-ms columns. The default output
+ * shape is unchanged without the flags, so existing consumers and the
+ * golden diffs are unaffected.
  */
 
 #include <chrono>
@@ -60,15 +62,19 @@ main(int argc, char **argv)
         sweep.auditWith(AuditOptions::full());
     if (obs.registry())
         sweep.withTelemetry(obs.registry());
+    if (obs.recorder())
+        sweep.withTracing(obs.recorder());
 
     RunOptions options;
     options.threads = args.getInt("threads");
     options.iterations = args.getInt("iterations");
     options.onProgress = obs.progress();
-    options.pointTelemetry = args.getFlag("telemetry");
+    options.pointTelemetry =
+        args.getFlag("telemetry") || obs.anomaliesWanted();
 
     const auto began = std::chrono::steady_clock::now();
     const auto results = sweep.run(options);
+    obs.reportSweep(results);
     const double wall_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - began)

@@ -39,7 +39,8 @@ namespace {
  * Perfetto (--trace).
  */
 void
-exportCounterTrace(const std::string &path)
+exportCounterTrace(const std::string &path,
+                   const lergan::FlightRecorder *recorder)
 {
     using namespace lergan;
     const GanModel model = makeBenchmark("DCGAN");
@@ -58,14 +59,23 @@ exportCounterTrace(const std::string &path)
     const CriticalPath critical =
         extractCriticalPath(tmpl->graph, record, names);
     appendCriticalTrack(tracer, critical, names);
+    // With tracing active, the sweep's flight-recorder spans ride along
+    // as a second process ("host spans"), so the simulated timeline and
+    // the host-side point lifecycle share one viewer.
+    std::vector<SpanEvent> hostSpans;
+    if (recorder)
+        hostSpans = recorder->collect();
     std::ofstream out(path);
     if (!out)
         LERGAN_FATAL("cannot write trace file '", path, "'");
-    tracer.exportChromeTrace(out, names);
+    tracer.exportChromeTrace(out, names,
+                             hostSpans.empty() ? nullptr : &hostSpans);
     std::cerr << "trace: " << tracer.events().size() << " spans ("
               << critical.entries.size() << " critical), "
-              << tracer.counterSamples().size() << " counter samples -> "
-              << path << "\n";
+              << tracer.counterSamples().size() << " counter samples";
+    if (!hostSpans.empty())
+        std::cerr << ", " << hostSpans.size() << " host spans";
+    std::cerr << " -> " << path << "\n";
 }
 
 /**
@@ -133,6 +143,60 @@ measureRecordingOverhead(lergan::ExperimentSweep &sweep)
         if (off_ms > 0.0)
             overheads.push_back(100.0 * (on_ms - off_ms) / off_ms);
     }
+    if (overheads.empty())
+        return 0.0;
+    std::sort(overheads.begin(), overheads.end());
+    return overheads[overheads.size() / 2];
+}
+
+/**
+ * Warm A/B measurement of span-tracing overhead: run the full (warm)
+ * fig19 grid with the flight recorder detached and attached, and
+ * report the on-cost percentage as the median of 15 back-to-back
+ * off/on pairwise ratios — the same discipline as
+ * measureRecordingOverhead. This is the ISSUE 10 acceptance number:
+ * a traced sweep must stay within ~3% host-ms/point of an untraced
+ * one.
+ */
+double
+measureTracingOverhead(lergan::ExperimentSweep &sweep, int threads)
+{
+    using namespace lergan;
+    using clock = std::chrono::steady_clock;
+    const auto savedTelemetry = sweep.telemetry();
+    const auto savedRecorder = sweep.recorder();
+    sweep.withTelemetry(nullptr);
+
+    RunOptions warm;
+    warm.threads = threads;
+    warm.iterations = bench::kIterations;
+    const auto recorder = std::make_shared<FlightRecorder>();
+
+    sweep.withTracing(nullptr);
+    sweep.run(warm); // warm-up: caches hot, rings allocated next run
+    sweep.withTracing(recorder);
+    sweep.run(warm);
+
+    // Pairwise off/on ratios reject host-frequency drift; the median
+    // rejects outlier pairs (see measureRecordingOverhead).
+    std::vector<double> overheads;
+    for (int rep = 0; rep < 15; ++rep) {
+        sweep.withTracing(nullptr);
+        const auto t0 = clock::now();
+        sweep.run(warm);
+        const auto t1 = clock::now();
+        sweep.withTracing(recorder);
+        sweep.run(warm);
+        const auto t2 = clock::now();
+        const double off_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        const double on_ms =
+            std::chrono::duration<double, std::milli>(t2 - t1).count();
+        if (off_ms > 0.0)
+            overheads.push_back(100.0 * (on_ms - off_ms) / off_ms);
+    }
+    sweep.withTelemetry(savedTelemetry);
+    sweep.withTracing(savedRecorder);
     if (overheads.empty())
         return 0.0;
     std::sort(overheads.begin(), overheads.end());
@@ -210,6 +274,16 @@ main(int argc, char **argv)
         "critpath-check",
         "overhead guard: fail when measured recording overhead exceeds "
         "this committed baseline file by more than 4 points");
+    runner.args().addOption(
+        "tracing-baseline",
+        "measure span-tracing overhead (warm A/B rerun of the grid with "
+        "the flight recorder off vs on) and write it to this baseline "
+        "file");
+    runner.args().addOption(
+        "tracing-check",
+        "overhead guard: fail when measured tracing overhead exceeds "
+        "this committed baseline file by more than 2 points (or 3% "
+        "absolute, whichever is larger)");
     runner.parse(argc, argv,
                  "Fig. 19: LerGAN vs PRIME speedup reproduction");
 
@@ -326,8 +400,60 @@ main(int argc, char **argv)
         }
     }
 
+    bool tracingGuardFailed = false;
+    if (runner.args().given("tracing-baseline") ||
+        runner.args().given("tracing-check")) {
+        const double overhead =
+            measureTracingOverhead(sweep, runner.threads());
+        std::cerr << "tracing overhead (warm A/B): "
+                  << TextTable::num(overhead) << "% on-cost\n";
+        if (runner.args().given("tracing-baseline")) {
+            const std::string path =
+                runner.args().get("tracing-baseline");
+            std::ofstream out(path);
+            if (!out)
+                LERGAN_FATAL("cannot write tracing baseline '", path,
+                             "'");
+            out << "{\n  \"schema\": \"lergan-tracing-overhead/1\",\n"
+                << "  \"tracing_overhead_pct\": "
+                << TextTable::num(overhead) << "\n}\n";
+            std::cerr << "tracing baseline -> " << path << "\n";
+        }
+        if (runner.args().given("tracing-check")) {
+            // The acceptance budget is 3% median host-ms/point; the
+            // committed number is typically ~0, so the guard allows
+            // max(3% absolute, committed + 2 points) to absorb host
+            // noise while catching a hot-path regression.
+            const std::string path = runner.args().get("tracing-check");
+            std::ifstream in(path);
+            if (!in)
+                LERGAN_FATAL("--tracing-check: cannot read baseline '",
+                             path, "'");
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            const std::string key = "\"tracing_overhead_pct\": ";
+            const std::size_t at = buffer.str().find(key);
+            if (at == std::string::npos)
+                LERGAN_FATAL("--tracing-check: no tracing_overhead_pct "
+                             "in '",
+                             path, "'");
+            const double committed = std::strtod(
+                buffer.str().c_str() + at + key.size(), nullptr);
+            const double ceiling = std::max(3.0, committed + 2.0);
+            tracingGuardFailed = overhead > ceiling;
+            std::cerr << "tracing guard: measured "
+                      << TextTable::num(overhead)
+                      << "% vs committed baseline "
+                      << TextTable::num(committed) << "% (ceiling "
+                      << TextTable::num(ceiling) << "%): "
+                      << (tracingGuardFailed ? "REGRESSION" : "ok")
+                      << "\n";
+        }
+    }
+
     if (runner.args().given("trace"))
-        exportCounterTrace(runner.args().get("trace"));
+        exportCounterTrace(runner.args().get("trace"),
+                           runner.obs().recorder().get());
 
     std::map<std::pair<std::string, std::string>, double> msPerIter;
     for (const SweepResult &result : sweepResults)
@@ -360,5 +486,5 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\npaper: high-degree average 7.46x; equal-space 2.1x\n";
     const int rc = runner.finish();
-    return critpathGuardFailed ? 1 : rc;
+    return critpathGuardFailed || tracingGuardFailed ? 1 : rc;
 }

@@ -278,12 +278,18 @@ Runner::runSweep(ExperimentSweep &sweep, int iterations)
 {
     if (obs().registry())
         sweep.withTelemetry(obs().registry());
+    if (obs().recorder())
+        sweep.withTracing(obs().recorder());
 
     RunOptions options;
     options.threads = threads();
     options.iterations = iterations;
     options.onProgress = obs().progress();
+    // The anomaly report ranks points by host time, so the traced run
+    // needs the per-point telemetry it is ranked by.
+    options.pointTelemetry = obs().anomaliesWanted();
     auto results = sweep.run(options);
+    obs().reportSweep(results);
 
     if (measurementWanted())
         measureSweep(sweep, iterations);
@@ -295,9 +301,12 @@ Runner::measureSweep(ExperimentSweep &sweep, int iterations)
 {
     measuredIterations_ = iterations;
     // Measurement runs are silent and unobserved: no telemetry, no
-    // progress — the product-default fast path is the measured one.
+    // tracing, no progress — the product-default fast path is the
+    // measured one.
     const auto registry = sweep.telemetry();
+    const auto recorder = sweep.recorder();
     sweep.withTelemetry(nullptr);
+    sweep.withTracing(nullptr);
 
     HostProfiler &profiler = HostProfiler::global();
     const bool wasEnabled = profiler.enabled();
@@ -345,6 +354,7 @@ Runner::measureSweep(ExperimentSweep &sweep, int iterations)
 
     profiler.enable(wasEnabled);
     sweep.withTelemetry(registry);
+    sweep.withTracing(recorder);
 }
 
 void

@@ -41,3 +41,11 @@ echo "wrote $root/BENCH_fig19.json (commit $commit)"
     --critpath-baseline "$root/BENCH_fig19_critpath.json" >/dev/null
 
 echo "wrote $root/BENCH_fig19_critpath.json"
+
+# Span tracing overhead (warm A/B over the fig19 grid with and without
+# a flight recorder attached): scripts/check.sh fails when a future
+# change pushes the measured overhead above max(3%, committed + 2).
+"$root/build/bench/fig19_lergan_vs_prime" \
+    --tracing-baseline "$root/BENCH_fig19_tracing.json" >/dev/null
+
+echo "wrote $root/BENCH_fig19_tracing.json"

@@ -51,6 +51,21 @@ else
     echo "== critpath overhead guard skipped (no baseline) =="
 fi
 
+# Span tracing overhead guard: a warm A/B run of the fig19 grid with
+# and without a flight recorder attached must not exceed max(3%, the
+# committed overhead + 2 points) — the tracing layer's "≤3% on the
+# reference container" budget (LERGAN_SKIP_PERF_GUARD skips it too).
+if [ "${LERGAN_SKIP_PERF_GUARD:-0}" = "1" ]; then
+    echo "== tracing overhead guard skipped (LERGAN_SKIP_PERF_GUARD=1) =="
+elif [ -f "$root/BENCH_fig19_tracing.json" ]; then
+    echo "== tracing overhead guard: fig19 span-recording A/B vs" \
+         "committed BENCH_fig19_tracing.json =="
+    "$root/build/bench/fig19_lergan_vs_prime" \
+        --tracing-check "$root/BENCH_fig19_tracing.json" >/dev/null
+else
+    echo "== tracing overhead guard skipped (no baseline) =="
+fi
+
 # The exec tests exercise the worker pool and the compile cache under
 # real concurrency, and the fault tests drive the Monte Carlo driver's
 # seeded trials across the same pool; TSan is the check that the
@@ -65,14 +80,16 @@ int main() { std::thread([] {}).join(); }
 EOF
 if c++ -std=c++20 -fsanitize=thread "$probe_dir/probe.cc" \
         -o "$probe_dir/probe" 2>/dev/null && "$probe_dir/probe"; then
-    echo "== TSan build of the exec + fault + telemetry + critpath" \
-         "tests (ctest -L 'tsan|faults|telemetry|critpath') =="
+    echo "== TSan build of the exec + fault + telemetry + critpath +" \
+         "tracing tests (ctest -L 'tsan|faults|telemetry|critpath|tracing') =="
     cmake -B "$root/build-tsan" -S "$root" \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DCMAKE_CXX_FLAGS="-fsanitize=thread" >/dev/null
     cmake --build "$root/build-tsan" -j "$jobs" \
-        --target test_exec test_faults test_telemetry test_critpath
-    ctest --test-dir "$root/build-tsan" -L 'tsan|faults|telemetry|critpath' \
+        --target test_exec test_faults test_telemetry test_critpath \
+        test_tracing
+    ctest --test-dir "$root/build-tsan" \
+        -L 'tsan|faults|telemetry|critpath|tracing' \
         --output-on-failure -j "$jobs"
 else
     echo "ThreadSanitizer unavailable on this toolchain; skipping the" \

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Diff a bench's span NDJSON export against a committed golden.
+#
+# Usage: golden_trace.sh <golden-file> <binary> <threads> [args...]
+#
+# Runs the binary with --trace-spans at the given worker count, strips
+# each line's trailing "host" object (lane, begin/duration, queue wait
+# — wall-clock facts about this machine), and byte-diffs the rest.
+# Running at both 1 and 4 workers against the SAME golden is the span
+# determinism check: trace ids, span ids, names, parent links and the
+# deterministic attributes are pure functions of the point grid, so
+# they must not depend on thread count or completion order.
+set -eu
+
+golden="$1"
+bin="$2"
+threads="$3"
+shift 3
+
+raw="$(mktemp)"
+tmp="$(mktemp)"
+trap 'rm -f "$raw" "$tmp"' EXIT
+
+"$bin" --threads "$threads" --trace-spans "$raw" "$@" > /dev/null
+sed -E 's/,"host":\{[^{}]*\}\}$/}/' "$raw" > "$tmp"
+diff -u "$golden" "$tmp"

@@ -45,4 +45,16 @@ grep -v -e '^host_' -e '^# TYPE host_' "$raw" \
     > "$out/fig19_metrics.prom"
 rm -f "$raw"
 
+# Span NDJSON export: trace/span ids and deterministic attributes are
+# pure functions of the point grid, so the same golden serves the 1-
+# and 4-worker determinism tests. Each line's "host" object (lane,
+# begin/duration, queue wait — wall-clock facts) is stripped.
+echo "golden: fig19_spans"
+raw="$(mktemp)"
+"$build/bench/fig19_lergan_vs_prime" --threads 1 --trace-spans "$raw" \
+    > /dev/null
+sed -E 's/,"host":\{[^{}]*\}\}$/}/' "$raw" \
+    > "$out/fig19_spans.ndjson"
+rm -f "$raw"
+
 echo "done; review with: git diff tests/golden/"

@@ -1,0 +1,146 @@
+#include "core/anomaly.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "critpath/critpath.hh"
+
+namespace lergan {
+
+namespace {
+
+/** Why a point landed in the report, in severity order. */
+enum class Reason { Failed, AuditDirty, Slow };
+
+struct Anomaly {
+    std::size_t index;
+    Reason reason;
+    double hostMs;
+};
+
+const char *
+reasonLabel(Reason reason)
+{
+    switch (reason) {
+    case Reason::Failed:
+        return "failed";
+    case Reason::AuditDirty:
+        return "audit dirty";
+    case Reason::Slow:
+        return "slow";
+    }
+    return "?";
+}
+
+/** Nearest-rank quantile of @p q over @p values (unsorted, copied). */
+double
+nearestRank(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return std::numeric_limits<double>::infinity();
+    std::sort(values.begin(), values.end());
+    const double rank = std::ceil(q * static_cast<double>(values.size()));
+    std::size_t idx =
+        rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+    if (idx >= values.size())
+        idx = values.size() - 1;
+    return values[idx];
+}
+
+} // namespace
+
+std::size_t
+writeAnomalyReport(std::ostream &os,
+                   const std::vector<SweepResult> &results,
+                   const FlightRecorder &recorder,
+                   const AnomalyOptions &options)
+{
+    std::vector<double> hostTimes;
+    for (const SweepResult &result : results)
+        if (!result.failed && result.telemetry.ran)
+            hostTimes.push_back(result.telemetry.hostMs);
+    const double threshold = nearestRank(hostTimes, options.quantile);
+
+    std::vector<Anomaly> anomalies;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SweepResult &result = results[i];
+        const double hostMs =
+            result.telemetry.ran ? result.telemetry.hostMs : 0.0;
+        if (result.failed)
+            anomalies.push_back({i, Reason::Failed, hostMs});
+        else if (result.audit.ran && !result.audit.ok())
+            anomalies.push_back({i, Reason::AuditDirty, hostMs});
+        else if (result.telemetry.ran && hostMs > threshold)
+            anomalies.push_back({i, Reason::Slow, hostMs});
+    }
+    // Severity first (failures, dirty audits, then merely slow), the
+    // slowest first within a class, index as the tie-break.
+    std::sort(anomalies.begin(), anomalies.end(),
+              [](const Anomaly &a, const Anomaly &b) {
+                  if (a.reason != b.reason)
+                      return a.reason < b.reason;
+                  if (a.hostMs != b.hostMs)
+                      return a.hostMs > b.hostMs;
+                  return a.index < b.index;
+              });
+
+    os << "anomaly report: " << anomalies.size() << " of "
+       << results.size() << " points";
+    if (!hostTimes.empty()) {
+        os << " (host-ms p"
+           << static_cast<int>(options.quantile * 100.0) << " = "
+           << threshold << " ms over " << hostTimes.size()
+           << " timed points)";
+    }
+    os << '\n';
+
+    const std::size_t shown =
+        std::min(anomalies.size(), options.maxPoints);
+    for (std::size_t a = 0; a < shown; ++a) {
+        const Anomaly &anomaly = anomalies[a];
+        const SweepResult &result = results[anomaly.index];
+        os << "\npoint " << anomaly.index << "  " << result.benchmark
+           << " / " << result.configLabel << "  ["
+           << reasonLabel(anomaly.reason) << ']';
+        if (result.telemetry.ran) {
+            os << "  host " << result.telemetry.hostMs << " ms";
+            if (result.telemetry.queueWaitMs >= 0.0)
+                os << ", queue wait " << result.telemetry.queueWaitMs
+                   << " ms";
+        }
+        os << '\n';
+        if (result.failed && !result.error.empty())
+            os << "  error: " << result.error << '\n';
+        if (result.audit.ran && !result.audit.ok())
+            os << "  audit: " << result.audit.summary() << '\n';
+
+        const std::vector<SpanEvent> spans =
+            recorder.collectTrace(static_cast<TraceId>(anomaly.index) +
+                                  1);
+        if (!spans.empty()) {
+            printSpanTree(os, spans);
+        } else if (!result.traceDump.empty()) {
+            // The failure-time dump survives even when the live ring
+            // has since been overwritten by other points.
+            os << result.traceDump;
+        } else {
+            os << "  (no spans resident — evicted, or run untraced)\n";
+        }
+        if (result.report.critpath && !result.report.critpath->empty())
+            result.report.critpath->path.print(os);
+    }
+    if (anomalies.size() > shown) {
+        os << "\n(" << anomalies.size() - shown
+           << " more anomalous points not shown; raise "
+              "AnomalyOptions::maxPoints)\n";
+    }
+    if (recorder.dropped() > 0) {
+        os << "\nnote: flight recorder overwrote " << recorder.dropped()
+           << " spans (ring capacity " << recorder.laneCapacity()
+           << "/lane); oldest traces may be partial\n";
+    }
+    return anomalies.size();
+}
+
+} // namespace lergan

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Slow-point anomaly report: after a traced sweep, explain the points
+ * that deserve attention — failures, dirty audits, and points beyond a
+ * host-time quantile — from the flight recorder, without rerunning.
+ *
+ * The report is a post-mortem over host observations, so it is never
+ * part of a determinism golden: which points exceed the quantile (and
+ * every printed duration) depends on the machine and the run. What it
+ * prints per point — the span tree and the critical-path rollup — is
+ * the causal record ISSUE 10 is about: queue wait, compile, cache
+ * outcome, simulate, audit, all attributed and timed.
+ */
+
+#ifndef LERGAN_CORE_ANOMALY_HH
+#define LERGAN_CORE_ANOMALY_HH
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "telemetry/flight_recorder.hh"
+
+namespace lergan {
+
+/** Tuning of writeAnomalyReport(). */
+struct AnomalyOptions {
+    /**
+     * Host-ms quantile (nearest-rank over the successful points'
+     * PointTelemetry::hostMs) beyond which a point is anomalous.
+     * Failed and audit-dirty points are always anomalous.
+     */
+    double quantile = 0.9;
+    /** Cap on fully-printed points (the rest are counted, not shown). */
+    std::size_t maxPoints = 8;
+};
+
+/**
+ * Write the anomaly report of a traced sweep run: for every failed,
+ * audit-dirty, or slower-than-quantile point, the point's span tree
+ * (from @p recorder, trace id = point index + 1) and its critical-path
+ * rollup when the sweep recorded one. Requires the run to have used
+ * RunOptions::pointTelemetry (host times are the quantile's input);
+ * points without telemetry can still be reported as failed/dirty.
+ * Notes ring eviction (recorder.dropped()) so a missing tree is
+ * explainable. Returns the number of anomalous points found.
+ */
+std::size_t writeAnomalyReport(std::ostream &os,
+                               const std::vector<SweepResult> &results,
+                               const FlightRecorder &recorder,
+                               const AnomalyOptions &options = {});
+
+} // namespace lergan
+
+#endif // LERGAN_CORE_ANOMALY_HH

@@ -1,8 +1,11 @@
 #include "core/api.hh"
 
+#include <optional>
+
 #include "core/validate.hh"
 #include "critpath/critpath.hh"
 #include "sim/trace.hh"
+#include "telemetry/tracing.hh"
 
 namespace lergan {
 
@@ -42,6 +45,13 @@ SimulationSession::withTelemetry(std::shared_ptr<MetricsRegistry> registry)
 }
 
 SimulationSession &
+SimulationSession::withTracing(std::shared_ptr<FlightRecorder> recorder)
+{
+    recorder_ = std::move(recorder);
+    return *this;
+}
+
+SimulationSession &
 SimulationSession::withCriticalPath(bool enabled)
 {
     critpath_ = enabled;
@@ -54,14 +64,33 @@ SimulationSession::runImpl(const GanModel &model, int iterations,
                            AuditVerdict *verdict) const
 {
     config_.checkUsable();
+    // With a recorder attached, the whole run executes under a root
+    // "run" span on the main-thread ring; the stage spans below are
+    // inert (one thread-local load each) when untraced.
+    std::optional<MainLaneBinding> bind;
+    std::optional<Span> root;
+    if (recorder_) {
+        bind.emplace(*recorder_);
+        root.emplace(recorder_->allocateTraceId(), "run");
+        root->attr("benchmark", model.name);
+        root->attr("iterations", static_cast<std::int64_t>(iterations));
+    }
     // compileGan carries its own "compile" profiler scope; a cache hit
     // here costs only the lookup.
-    std::shared_ptr<const CompiledGan> compiled =
-        cache_->get(model, config_, compileGanValidated);
+    bool cache_hit = false;
+    std::shared_ptr<const CompiledGan> compiled;
+    {
+        Span span("compile");
+        compiled =
+            cache_->get(model, config_, compileGanValidated, &cache_hit);
+        span.attr("cache_hit", cache_hit);
+    }
     MetricsRegistry *metrics = telemetry_.get();
     LerGanAccelerator accelerator(model, config_, std::move(compiled));
-    if (!options.enabled && !critpath_)
+    if (!options.enabled && !critpath_) {
+        Span span("simulate");
         return accelerator.trainIterations(iterations, nullptr, metrics);
+    }
 
     Tracer tracer;
     Tracer *trace =
@@ -74,19 +103,25 @@ SimulationSession::runImpl(const GanModel &model, int iterations,
         std::shared_ptr<const IterationTemplate> tmpl =
             accelerator.makeIterationTemplate();
         ExecRecord record;
-        report = accelerator.trainIterations(iterations, trace, metrics,
-                                             tmpl.get(), &record);
+        {
+            Span span("simulate");
+            report = accelerator.trainIterations(
+                iterations, trace, metrics, tmpl.get(), &record);
+        }
         report.critpath = makeRecordedRun(
             std::shared_ptr<const TaskGraph>(tmpl, &tmpl->graph),
             accelerator.resourceNames(), std::move(record));
     } else {
+        Span span("simulate");
         report = accelerator.trainIterations(iterations, trace, metrics);
     }
     if (options.enabled) {
+        Span span("audit");
         const AuditContext context(options);
         AuditVerdict result = context.run({&model, &config_,
                                            &accelerator.compiled(),
                                            &report, trace});
+        span.attr("clean", result.ok());
         if (verdict)
             *verdict = std::move(result);
         else if (!result.ok())

@@ -39,6 +39,7 @@
 #include "core/report.hh"
 #include "exec/model_cache.hh"
 #include "nn/parser.hh"
+#include "telemetry/flight_recorder.hh"
 #include "nn/zero_analysis.hh"
 #include "workloads/zoo.hh"
 
@@ -128,6 +129,29 @@ class SimulationSession
     }
 
     /**
+     * Attach a flight recorder: every subsequent run() executes under
+     * a root "run" span (trace id from allocateTraceId(), so session
+     * traces never collide with sweep-point traces in a shared
+     * recorder) with compile/simulate/audit stage children recorded
+     * into the recorder's main-thread ring. Pass null to detach.
+     *
+     * NOT thread-safe against concurrent run() calls: the main ring is
+     * single-writer, and two threads running one traced session would
+     * both record into it. Trace single-threaded sessions, or give
+     * each thread its own session + recorder; parallel grids should
+     * use ExperimentSweep::withTracing (per-lane rings) instead.
+     */
+    SimulationSession &withTracing(
+        std::shared_ptr<FlightRecorder> recorder =
+            std::make_shared<FlightRecorder>());
+
+    /** The attached flight recorder (null when tracing is off). */
+    const std::shared_ptr<FlightRecorder> &recorder() const
+    {
+        return recorder_;
+    }
+
+    /**
      * Record the dependence graph of every subsequent run(): each
      * report comes back with report.critpath set — the execution
      * record, the extracted critical path and everything the what-if
@@ -163,6 +187,7 @@ class SimulationSession
     std::shared_ptr<CompiledModelCache> cache_;
     AuditOptions audit_;
     std::shared_ptr<MetricsRegistry> telemetry_;
+    std::shared_ptr<FlightRecorder> recorder_;
     bool critpath_ = false;
 };
 

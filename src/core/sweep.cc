@@ -9,6 +9,7 @@
 #include "critpath/critpath.hh"
 #include "critpath/whatif.hh"
 #include "sim/trace.hh"
+#include "telemetry/tracing.hh"
 
 namespace lergan {
 
@@ -53,6 +54,13 @@ ExperimentSweep &
 ExperimentSweep::withTelemetry(std::shared_ptr<MetricsRegistry> registry)
 {
     telemetry_ = std::move(registry);
+    return *this;
+}
+
+ExperimentSweep &
+ExperimentSweep::withTracing(std::shared_ptr<FlightRecorder> recorder)
+{
+    recorder_ = std::move(recorder);
     return *this;
 }
 
@@ -135,15 +143,24 @@ ExperimentSweep::run(const RunOptions &options) const
         const auto began = options.pointTelemetry
                                ? std::chrono::steady_clock::now()
                                : std::chrono::steady_clock::time_point{};
+        // Under withTracing, the engine's root "point" span is open on
+        // this thread; name it and hang the stage spans below it. All
+        // of this is inert (one TL load per scope) when untraced.
+        annotate("benchmark", point.model->name);
+        annotate("config", *point.label);
         point.config->checkUsable();
         // Validated compile: every mapping entering the cache from
         // the execution engine passes validateMapping, with full
         // diagnostics on failure (core/validate.hh).
         SweepResult &result = results[i];
         bool cache_hit = false;
-        std::shared_ptr<const CompiledGan> compiled =
-            cache_->get(*point.model, *point.config,
-                        compileGanValidated, &cache_hit);
+        std::shared_ptr<const CompiledGan> compiled;
+        {
+            Span span("compile");
+            compiled = cache_->get(*point.model, *point.config,
+                                   compileGanValidated, &cache_hit);
+            span.attr("cache_hit", cache_hit);
+        }
         // The cache only holds validated mappings, so the point
         // skips re-validating them per run.
         LerGanAccelerator accelerator(*point.model, *point.config,
@@ -153,10 +170,13 @@ ExperimentSweep::run(const RunOptions &options) const
         // The iteration DAG is a pure function of (model, config):
         // lower it once per pair, replay it for every point and
         // every repeated run() of the sweep.
-        std::shared_ptr<const IterationTemplate> tmpl =
-            templates_->get(
+        std::shared_ptr<const IterationTemplate> tmpl;
+        {
+            Span span("template");
+            tmpl = templates_->get(
                 pairFingerprint(*point.model, *point.config),
                 [&] { return accelerator.makeIterationTemplate(); });
+        }
 
         const auto recordHostTelemetry = [&] {
             if (!options.pointTelemetry)
@@ -182,6 +202,8 @@ ExperimentSweep::run(const RunOptions &options) const
                     // makespan, which equals what the simulation would
                     // have produced (energies are build-time facts and
                     // stay exact). No execution, so no audit or record.
+                    Span span("estimate");
+                    span.attr("pruned", true);
                     result.report = accelerator.estimateIterations(
                         options.iterations, tmpl.get(), bounds.upper);
                     result.crossbarsUsed =
@@ -204,9 +226,12 @@ ExperimentSweep::run(const RunOptions &options) const
         // record is part of the report), so only critpath-off sweeps
         // are fully allocation-free in steady state.
         ExecRecord &record = arena.record;
-        result.report = accelerator.trainIterations(
-            options.iterations, trace, metrics, tmpl.get(),
-            critpath_ ? &record : nullptr);
+        {
+            Span span("simulate");
+            result.report = accelerator.trainIterations(
+                options.iterations, trace, metrics, tmpl.get(),
+                critpath_ ? &record : nullptr);
+        }
         if (critpath_) {
             result.report.critpath = makeRecordedRun(
                 std::shared_ptr<const TaskGraph>(tmpl, &tmpl->graph),
@@ -219,19 +244,25 @@ ExperimentSweep::run(const RunOptions &options) const
         result.oversubscribed =
             accelerator.compiled().oversubscribedCrossbars;
         if (audit_.enabled) {
+            Span span("audit");
             const AuditContext context(audit_);
             result.audit = context.run(
                 {point.model, point.config, &accelerator.compiled(),
                  &result.report, trace});
+            span.attr("clean", result.audit.ok());
+            span.attr("checks", static_cast<std::int64_t>(
+                                    result.audit.checksRun));
         }
         recordHostTelemetry();
     };
 
+    FlightRecorder *recorder = recorder_.get();
     std::vector<PointStatus> statuses;
     if (!pruning_) {
         statuses = runPoints(points.size(),
                              static_cast<unsigned>(options.threads),
-                             body, options.onProgress, metrics);
+                             body, options.onProgress, metrics,
+                             recorder);
     } else {
         // Baselines first (they anchor the pruning decisions), then
         // everything else; progress counts stay monotonic across the
@@ -252,12 +283,17 @@ ExperimentSweep::run(const RunOptions &options) const
                                        points.size());
                 };
             }
+            // Batch index != grid index, so map trace ids back to the
+            // original grid: a point keeps one trace id no matter
+            // which batch ran it.
             const auto batch_statuses = runPoints(
                 batch.size(), static_cast<unsigned>(options.threads),
                 [&](std::size_t k, std::size_t lane) {
                     body(batch[k], lane);
                 },
-                progress, metrics);
+                progress, metrics, recorder, [&](std::size_t k) {
+                    return static_cast<TraceId>(batch[k]) + 1;
+                });
             for (std::size_t k = 0; k < batch.size(); ++k)
                 statuses[batch[k]] = batch_statuses[k];
         };
@@ -289,9 +325,15 @@ ExperimentSweep::run(const RunOptions &options) const
             result = SweepResult{};
             result.failed = true;
             result.error = statuses[i].error;
+            result.traceDump = std::move(statuses[i].spanDump);
         }
         result.benchmark = points[i].model->name;
         result.configLabel = *points[i].label;
+        if (recorder && options.pointTelemetry) {
+            result.telemetry.traced = true;
+            result.telemetry.spanCount = statuses[i].spanCount;
+            result.telemetry.queueWaitMs = statuses[i].queueWaitMs;
+        }
     }
     return results;
 }

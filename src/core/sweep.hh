@@ -39,6 +39,12 @@ struct PointTelemetry {
     bool cacheHit = false;
     /** Wall-clock time of the point body on its worker. */
     double hostMs = 0.0;
+    /** False unless the sweep ran with a tracing recorder attached. */
+    bool traced = false;
+    /** Spans this point recorded into the flight recorder. */
+    std::uint64_t spanCount = 0;
+    /** Milliseconds the point waited before a lane claimed it. */
+    double queueWaitMs = -1.0;
 };
 
 /** One executed experiment point. */
@@ -66,6 +72,12 @@ struct SweepResult {
     FaultSweepStats faults;
     /** Host-side point observations (RunOptions::pointTelemetry). */
     PointTelemetry telemetry;
+    /**
+     * Causal history of a failed point: the span tree the point left
+     * in the flight recorder, rendered as text (empty unless the
+     * sweep ran with withTracing and this point failed).
+     */
+    std::string traceDump;
 };
 
 /** A grid of benchmarks x configurations (plus explicit extra points). */
@@ -115,6 +127,26 @@ class ExperimentSweep
     const std::shared_ptr<MetricsRegistry> &telemetry() const
     {
         return telemetry_;
+    }
+
+    /**
+     * Attach a flight recorder: every point of every subsequent run()
+     * executes under a root "point" span (trace id = point index + 1)
+     * with compile/template/simulate/audit stage children recorded
+     * into per-lane lock-free rings (telemetry/flight_recorder.hh).
+     * The recorder keeps the newest laneCapacity() spans per lane;
+     * read it after run() with collect()/collectTrace(), export with
+     * writeSpanNdjson(), or summarize with writeAnomalyReport().
+     * Pass null to detach.
+     */
+    ExperimentSweep &withTracing(
+        std::shared_ptr<FlightRecorder> recorder =
+            std::make_shared<FlightRecorder>());
+
+    /** The attached flight recorder (null when tracing is off). */
+    const std::shared_ptr<FlightRecorder> &recorder() const
+    {
+        return recorder_;
     }
 
     /**
@@ -206,6 +238,7 @@ class ExperimentSweep
     std::shared_ptr<MemoCache<IterationTemplate>> templates_;
     AuditOptions audit_;
     std::shared_ptr<MetricsRegistry> telemetry_;
+    std::shared_ptr<FlightRecorder> recorder_;
     bool critpath_ = false;
     bool pruning_ = false;
 };

@@ -117,6 +117,13 @@ writeSweepJson(std::ostream &os, const std::vector<SweepResult> &results,
             json.key("telemetry").beginObject();
             json.key("cache_hit").value(result.telemetry.cacheHit);
             json.key("host_ms").value(result.telemetry.hostMs);
+            if (result.telemetry.traced) {
+                // Only traced runs carry the span fields, so untraced
+                // exports keep the exact historical shape.
+                json.key("spans").value(result.telemetry.spanCount);
+                json.key("queue_wait_ms")
+                    .value(result.telemetry.queueWaitMs);
+            }
             json.endObject();
         }
         if (result.report.critpath) {
@@ -167,10 +174,12 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results,
     // telemetry columns follow the same pattern.
     bool any_faults = false;
     bool any_telemetry = false;
+    bool any_traced = false;
     bool any_critpath = false;
     for (const SweepResult &result : results) {
         any_faults = any_faults || result.faults.ran();
         any_telemetry = any_telemetry || result.telemetry.ran;
+        any_traced = any_traced || result.telemetry.traced;
         any_critpath = any_critpath || result.report.critpath != nullptr;
     }
 
@@ -183,6 +192,8 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results,
     }
     if (any_telemetry)
         os << ",cache_hit,host_ms";
+    if (any_traced)
+        os << ",span_count,queue_wait_ms";
     if (any_critpath)
         os << ",crit_links,crit_zero_slack,crit_top_phase";
     os << '\n';
@@ -203,6 +214,8 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results,
                 }
             }
             if (any_telemetry)
+                os << ",,";
+            if (any_traced)
                 os << ",,";
             if (any_critpath)
                 os << ",,,";
@@ -233,6 +246,14 @@ writeSweepCsv(std::ostream &os, const std::vector<SweepResult> &results,
             if (result.telemetry.ran) {
                 os << ',' << (result.telemetry.cacheHit ? 1 : 0) << ','
                    << result.telemetry.hostMs;
+            } else {
+                os << ",,";
+            }
+        }
+        if (any_traced) {
+            if (result.telemetry.traced) {
+                os << ',' << result.telemetry.spanCount << ','
+                   << result.telemetry.queueWaitMs;
             } else {
                 os << ",,";
             }

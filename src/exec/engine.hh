@@ -13,10 +13,12 @@
 #define LERGAN_EXEC_ENGINE_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "telemetry/flight_recorder.hh"
 #include "telemetry/metrics.hh"
 
 namespace lergan {
@@ -51,6 +53,20 @@ struct PointStatus {
     bool ok = true;
     /** Exception message when !ok. */
     std::string error;
+    /**
+     * Causal history of a failed point: the span tree resident in the
+     * executing lane's flight-recorder ring at failure time, rendered
+     * as text. Empty on success or when no recorder was attached.
+     */
+    std::string spanDump;
+    /** Spans recorded for this point (0 when untraced). */
+    std::uint64_t spanCount = 0;
+    /**
+     * Milliseconds between runPoints() entry and this point being
+     * claimed by a lane — a wall-clock fact about host scheduling,
+     * never part of determinism goldens. -1 when untraced.
+     */
+    double queueWaitMs = -1.0;
 };
 
 /** Point body: called as (point index, worker lane). The lane is a
@@ -58,6 +74,15 @@ struct PointStatus {
  *  never shared by two concurrent bodies — index per-worker scratch
  *  arenas with it. */
 using PointBodyFn = std::function<void(std::size_t, std::size_t)>;
+
+/**
+ * Maps an engine point index to the TraceId its spans record under.
+ * Defaults to i + 1 (trace 0 is reserved). A caller running a
+ * *subset* of a larger grid (the bound-pruning batches) passes the
+ * mapping back to original grid indices so a point keeps one trace id
+ * across every batch it could appear in.
+ */
+using PointTraceIdFn = std::function<TraceId(std::size_t)>;
 
 /**
  * Execute @p body(i, lane) for every i in [0, count) on @p threads
@@ -78,11 +103,21 @@ using PointBodyFn = std::function<void(std::size_t, std::size_t)>;
  * When @p metrics is given, the pool's host-side stats (worker count,
  * per-worker busy time, tasks run) are recorded after the drain under
  * the "host." prefix — wall-clock facts, never part of goldens.
+ *
+ * When @p recorder is given, every point runs under a root "point"
+ * span on its lane's flight-recorder ring: the lane is bound before
+ * the body runs (so the body's own spans nest under the root), the
+ * point's queue wait is attached as a host attribute, a failed point
+ * gets its resident span tree dumped into PointStatus::spanDump, and
+ * the per-point span count / queue wait land in the status. Trace ids
+ * come from @p traceId (default: point index + 1).
  */
 std::vector<PointStatus> runPoints(std::size_t count, unsigned threads,
                                    const PointBodyFn &body,
                                    const ProgressFn &onProgress = {},
-                                   MetricsRegistry *metrics = nullptr);
+                                   MetricsRegistry *metrics = nullptr,
+                                   FlightRecorder *recorder = nullptr,
+                                   const PointTraceIdFn &traceId = {});
 
 } // namespace lergan
 

@@ -59,6 +59,8 @@ FaultMonteCarlo::run(const MonteCarloOptions &options) const
         sweep.auditWith(options.audit);
     if (options.telemetry)
         sweep.withTelemetry(options.telemetry);
+    if (options.recorder)
+        sweep.withTracing(options.recorder);
     std::size_t point_index = 0;
     for (const GanModel &model : models_) {
         for (const auto &[label, config] : configs_) {

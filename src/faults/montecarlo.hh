@@ -55,6 +55,13 @@ struct MonteCarloOptions {
      * the slot-indexed results, so deterministic for any worker count.
      */
     std::shared_ptr<MetricsRegistry> telemetry;
+    /**
+     * Flight recorder the trials record spans into (null = untraced).
+     * Each trial is one sweep point, so its trace id is its trial slot
+     * in the expanded grid + 1 — a slow or failed realization is
+     * explainable like any other sweep point (core/anomaly.hh).
+     */
+    std::shared_ptr<FlightRecorder> recorder;
 };
 
 /**

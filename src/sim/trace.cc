@@ -30,7 +30,8 @@ Tracer::recordCounter(const std::string &track, PicoSeconds time,
 
 void
 Tracer::exportChromeTrace(std::ostream &os,
-                          const std::vector<std::string> &lane_names) const
+                          const std::vector<std::string> &lane_names,
+                          const std::vector<SpanEvent> *host_spans) const
 {
     JsonWriter json(os);
     json.beginObject();
@@ -85,6 +86,72 @@ Tracer::exportChromeTrace(std::ostream &os,
         json.key("name").value(lane_names[lane]);
         json.endObject();
         json.endObject();
+    }
+    // Flight-recorder spans ride in a second process: host wall-clock
+    // slices (trace-epoch microseconds) next to the simulated timeline.
+    // Nesting falls out of the "X" format — the viewer stacks slices
+    // whose intervals contain each other on the same tid.
+    if (host_spans && !host_spans->empty()) {
+        bool any_main = false;
+        for (const SpanEvent &event : *host_spans) {
+            const bool main = event.lane == SpanEvent::kMainLane;
+            any_main = any_main || main;
+            json.beginObject();
+            json.key("name").value(event.name);
+            json.key("ph").value("X");
+            json.key("ts").value(
+                static_cast<double>(event.beginNs) * 1e-3);
+            json.key("dur").value(
+                static_cast<double>(event.endNs - event.beginNs) *
+                1e-3);
+            json.key("pid").value(2);
+            json.key("tid").value(
+                main ? 0 : static_cast<std::uint64_t>(event.lane) + 1);
+            json.key("args").beginObject();
+            json.key("trace").value(event.trace);
+            json.key("span").value(event.span);
+            for (std::uint32_t a = 0; a < event.attrCount; ++a) {
+                const SpanAttr &attr = event.attrs[a];
+                switch (attr.kind) {
+                case SpanAttr::Kind::Bool:
+                    json.key(attr.key).value(attr.i != 0);
+                    break;
+                case SpanAttr::Kind::Int:
+                    json.key(attr.key).value(
+                        static_cast<double>(attr.i));
+                    break;
+                case SpanAttr::Kind::Float:
+                    json.key(attr.key).value(attr.f);
+                    break;
+                case SpanAttr::Kind::Text:
+                    json.key(attr.key).value(attr.text);
+                    break;
+                case SpanAttr::Kind::None:
+                    break;
+                }
+            }
+            json.endObject();
+            json.endObject();
+        }
+        json.beginObject();
+        json.key("name").value("process_name");
+        json.key("ph").value("M");
+        json.key("pid").value(2);
+        json.key("args").beginObject();
+        json.key("name").value("host spans");
+        json.endObject();
+        json.endObject();
+        if (any_main) {
+            json.beginObject();
+            json.key("name").value("thread_name");
+            json.key("ph").value("M");
+            json.key("pid").value(2);
+            json.key("tid").value(0);
+            json.key("args").beginObject();
+            json.key("name").value("(main thread)");
+            json.endObject();
+            json.endObject();
+        }
     }
     json.endArray();
     json.endObject();

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "telemetry/flight_recorder.hh"
 
 namespace lergan {
 
@@ -76,10 +77,16 @@ class Tracer
      * lane land on a track named "(no resource)".
      *
      * @param lane_names optional resource names indexed by lane id.
+     * @param host_spans optional flight-recorder span events (one
+     *     collect()'s worth) merged in as nested "ph":"X" slices under
+     *     a separate "host spans" process (pid 2, one tid per worker
+     *     lane, timestamps on the trace epoch) — the simulated and the
+     *     host timeline stay side by side in one viewer.
      */
     void exportChromeTrace(
         std::ostream &os,
-        const std::vector<std::string> &lane_names = {}) const;
+        const std::vector<std::string> &lane_names = {},
+        const std::vector<SpanEvent> *host_spans = nullptr) const;
 
     /** Print a compact text timeline (first @p limit events). */
     void printTimeline(std::ostream &os, std::size_t limit = 50) const;

@@ -27,6 +27,7 @@
 #include <string>
 
 #include "telemetry/metrics.hh"
+#include "telemetry/tracing.hh"
 
 namespace lergan {
 
@@ -76,6 +77,10 @@ class HostProfiler
     /**
      * RAII phase scope. When the profiler is disabled at construction
      * the scope is inert: no clock is read, nothing is recorded.
+     *
+     * Times come from traceNowNs() — the same process-wide steady
+     * epoch the span tracer uses — so profiler phases and flight-
+     * recorder spans always agree on where zero is.
      */
     class Scope
     {
@@ -85,19 +90,14 @@ class HostProfiler
               active_(profiler.enabled())
         {
             if (active_)
-                start_ = std::chrono::steady_clock::now();
+                startNs_ = traceNowNs();
         }
 
         ~Scope()
         {
             if (!active_)
                 return;
-            const auto ns =
-                std::chrono::duration_cast<std::chrono::nanoseconds>(
-                    std::chrono::steady_clock::now() - start_)
-                    .count();
-            profiler_.record(phase_,
-                             static_cast<std::uint64_t>(ns));
+            profiler_.record(phase_, traceNowNs() - startNs_);
         }
 
         Scope(const Scope &) = delete;
@@ -107,7 +107,7 @@ class HostProfiler
         HostProfiler &profiler_;
         const char *phase_;
         bool active_;
-        std::chrono::steady_clock::time_point start_;
+        std::uint64_t startNs_ = 0;
     };
 
     /** Convenience: Scope(*this, phase). */
